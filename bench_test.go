@@ -1,0 +1,220 @@
+package spanners
+
+// Benchmarks, one per experiment of EXPERIMENTS.md. The E-series
+// reproduces the split-then-distribute speedups of the paper's Section 1
+// (compare the Sequential and Split sub-benchmarks of each experiment);
+// the T-series measures the decision procedures. Corpus sizes are kept
+// moderate so `go test -bench=.` finishes in minutes; cmd/splitbench
+// runs the same experiments at larger scale.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/library"
+	"repro/internal/parallel"
+	"repro/internal/regexformula"
+	"repro/internal/vsa"
+)
+
+const (
+	benchWorkers = 5       // the paper uses 5 cores / a 5-node cluster
+	benchBytes   = 1 << 17 // corpus size for the E1-E3 series
+	benchDocs    = 400     // collection size for E4-E5
+)
+
+func benchNgram(b *testing.B, seedDoc string, n int) {
+	sentences := library.Sentences()
+	ngram := library.NGrams(n)
+	composed := core.Compose(ngram.Automaton(), sentences)
+	segs := parallel.SegmentsOf(seedDoc, library.FastSentenceSplit(seedDoc))
+	b.Run("Sequential", func(b *testing.B) {
+		b.SetBytes(int64(len(seedDoc)))
+		for i := 0; i < b.N; i++ {
+			parallel.Sequential(composed, seedDoc)
+		}
+	})
+	b.Run("Split", func(b *testing.B) {
+		b.SetBytes(int64(len(seedDoc)))
+		for i := 0; i < b.N; i++ {
+			parallel.SplitEval(ngram.Automaton(), segs, benchWorkers)
+		}
+	})
+}
+
+// BenchmarkE1WikipediaBigrams is experiment E1 (paper: 2.10x on 5 cores).
+func BenchmarkE1WikipediaBigrams(b *testing.B) {
+	benchNgram(b, corpus.Wikipedia(1, benchBytes), 2)
+}
+
+// BenchmarkE2WikipediaTrigrams is experiment E2 (paper: 3.11x).
+func BenchmarkE2WikipediaTrigrams(b *testing.B) {
+	benchNgram(b, corpus.Wikipedia(1, benchBytes), 3)
+}
+
+// BenchmarkE3PubMedBigrams is experiment E3 (paper: 1.90x).
+func BenchmarkE3PubMedBigrams(b *testing.B) {
+	benchNgram(b, corpus.PubMed(1, benchBytes), 2)
+}
+
+// BenchmarkE4ReutersFinance is experiment E4 (paper: 1.99x on a 5-node
+// cluster): whole-article tasks versus sentence tasks on the same pool.
+func BenchmarkE4ReutersFinance(b *testing.B) {
+	docs := corpus.Reuters(1, benchDocs)
+	p := library.FinanceEvents()
+	b.Run("WholeDocs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			parallel.CollectionEval(p, docs, benchWorkers)
+		}
+	})
+	b.Run("SplitTasks", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			parallel.CollectionEvalSplit(p, docs, library.FastSentenceSplit, benchWorkers)
+		}
+	})
+}
+
+// BenchmarkE5AmazonSentiment is experiment E5 (paper: 4.16x).
+func BenchmarkE5AmazonSentiment(b *testing.B) {
+	docs := corpus.Reviews(1, benchDocs*4)
+	p := library.NegativeSentiment()
+	b.Run("WholeDocs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			parallel.CollectionEval(p, docs, benchWorkers)
+		}
+	})
+	b.Run("SplitTasks", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			parallel.CollectionEvalSplit(p, docs, library.FastSentenceSplit, benchWorkers)
+		}
+	})
+}
+
+// BenchmarkT1Containment measures general (Theorem 4.1) versus
+// deterministic (Theorem 4.3) containment.
+func BenchmarkT1Containment(b *testing.B) {
+	pat := strings.Repeat("a", 6)
+	a := regexformula.MustCompile(".*y{" + pat + "}.*")
+	nd := regexformula.MustCompile(".*y{" + pat + "|" + pat + "b}.*")
+	det, err := nd.Determinize(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("General", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := vsa.Contained(a, nd, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Deterministic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := vsa.Contained(a, det, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkT3Disjointness measures Proposition 5.5 on library splitters.
+func BenchmarkT3Disjointness(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		s    *core.Splitter
+	}{
+		{"Sentences", library.Sentences()},
+		{"Trigrams", library.NGrams(3)},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.s.IsDisjoint()
+			}
+		})
+	}
+}
+
+func benchSplitCorrectInstance(b *testing.B) (p, ps *vsa.Automaton, s *core.Splitter) {
+	b.Helper()
+	pat := strings.Repeat("a", 4)
+	var err error
+	p, err = regexformula.MustCompile("(y{" + pat + "})(b[ab]*)?|[ab]*b(y{" + pat + "})(b[ab]*)?").Determinize(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps = p
+	sAuto, err := regexformula.MustCompile("(x{[^b]*})(b[^b]*)*|[^b]*(b[^b]*)*b(x{[^b]*})(b[^b]*)*").Determinize(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p, ps, core.MustSplitter(sAuto)
+}
+
+// BenchmarkT4CoverCondition measures Lemma 5.4 versus Lemma 5.6.
+func BenchmarkT4CoverCondition(b *testing.B) {
+	p, _, s := benchSplitCorrectInstance(b)
+	b.Run("General", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.CoverCondition(p, s, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Polynomial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.CoverConditionPoly(p, s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkT5SplitCorrectness measures Theorem 5.1 versus Theorem 5.7.
+func BenchmarkT5SplitCorrectness(b *testing.B) {
+	p, ps, s := benchSplitCorrectInstance(b)
+	b.Run("General", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.SplitCorrect(p, ps, s, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Polynomial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.SplitCorrectPoly(p, ps, s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkT6Canonical measures the Proposition 5.9 construction.
+func BenchmarkT6Canonical(b *testing.B) {
+	p, _, s := benchSplitCorrectInstance(b)
+	for i := 0; i < b.N; i++ {
+		core.Canonical(p, s)
+	}
+}
+
+// BenchmarkT7Splittability measures Theorem 5.15 end to end.
+func BenchmarkT7Splittability(b *testing.B) {
+	p := regexformula.MustCompile(".*y{aaa}.*")
+	s := core.MustSplitter(regexformula.MustCompile("(x{[^b]*})(b[^b]*)*|[^b]*(b[^b]*)*b(x{[^b]*})(b[^b]*)*"))
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.Splittable(p, s, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvalThroughput measures the raw evaluator on corpus text, the
+// substrate cost underlying the E-series.
+func BenchmarkEvalThroughput(b *testing.B) {
+	doc := corpus.Wikipedia(1, 1<<16)
+	p := library.NegativeSentiment()
+	b.SetBytes(int64(len(doc)))
+	for i := 0; i < b.N; i++ {
+		p.Eval(doc)
+	}
+}

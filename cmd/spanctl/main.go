@@ -1,0 +1,164 @@
+// Command spanctl is a command-line front end to the spanner library:
+// evaluate regex formulas on documents, split documents, and run the
+// split-correctness decision procedures of the paper.
+//
+// Usage:
+//
+//	spanctl eval -p FORMULA [-doc TEXT | -file PATH]
+//	spanctl split -s FORMULA [-doc TEXT | -file PATH]
+//	spanctl disjoint -s FORMULA
+//	spanctl check -p FORMULA -ps FORMULA -s FORMULA
+//	spanctl selfsplit -p FORMULA -s FORMULA
+//	spanctl splittable -p FORMULA -s FORMULA
+//	spanctl canonical -p FORMULA -s FORMULA
+//	spanctl commute -s FORMULA -s2 FORMULA
+//
+// Formulas use the regex-formula syntax of Section 4.1: captures are
+// written x{...}, alternation |, and . matches any byte. Example:
+//
+//	spanctl check -p '.*y{ab}.*' -ps 'y{ab}' -s '.*x{..}.*'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/reason"
+	"repro/internal/regexformula"
+	"repro/internal/vsa"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	var (
+		pSrc   = fs.String("p", "", "spanner formula P")
+		psSrc  = fs.String("ps", "", "split-spanner formula P_S")
+		sSrc   = fs.String("s", "", "splitter formula S (unary)")
+		s2Src  = fs.String("s2", "", "second splitter formula")
+		docArg = fs.String("doc", "", "document text")
+		file   = fs.String("file", "", "read document from file")
+	)
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		fatal(err)
+	}
+	doc := func() string {
+		if *file != "" {
+			b, err := os.ReadFile(*file)
+			if err != nil {
+				fatal(err)
+			}
+			return string(b)
+		}
+		return *docArg
+	}
+	switch cmd {
+	case "eval":
+		p := compile(*pSrc, "-p")
+		rel := p.Eval(doc())
+		fmt.Printf("%d tuple(s) over %v\n", rel.Len(), rel.Vars)
+		d := doc()
+		for _, t := range rel.Tuples {
+			fmt.Print("  ")
+			for i, sp := range t {
+				if i > 0 {
+					fmt.Print("  ")
+				}
+				fmt.Printf("%s=%v %q", rel.Vars[i], sp, sp.In(d))
+			}
+			fmt.Println()
+		}
+	case "split":
+		s := splitter(*sSrc, "-s")
+		for _, seg := range s.Segments(doc()) {
+			fmt.Printf("  %v %q\n", seg.Span, seg.Text)
+		}
+	case "disjoint":
+		s := splitter(*sSrc, "-s")
+		fmt.Println(s.IsDisjoint())
+	case "check":
+		p := compile(*pSrc, "-p")
+		ps := compile(*psSrc, "-ps")
+		s := splitter(*sSrc, "-s")
+		ok, witness, err := core.SplitCorrectWitness(p, ps, s, 0)
+		if err != nil {
+			fatal(err)
+		}
+		if ok {
+			fmt.Println("split-correct: P = P_S ∘ S")
+		} else {
+			fmt.Printf("NOT split-correct; witness document: %q\n", witness)
+			os.Exit(1)
+		}
+	case "selfsplit":
+		p := compile(*pSrc, "-p")
+		s := splitter(*sSrc, "-s")
+		ok, err := core.SelfSplittable(p, s, 0)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(ok)
+	case "splittable":
+		p := compile(*pSrc, "-p")
+		s := splitter(*sSrc, "-s")
+		ok, witness, err := core.Splittable(p, s, 0)
+		if err != nil {
+			fatal(err)
+		}
+		if ok {
+			fmt.Printf("splittable; canonical split-spanner has %d states\n", witness.NumStates())
+		} else {
+			fmt.Println("not splittable")
+			os.Exit(1)
+		}
+	case "canonical":
+		p := compile(*pSrc, "-p")
+		s := splitter(*sSrc, "-s")
+		can := core.Canonical(p, s)
+		fmt.Print(can.String())
+	case "commute":
+		s := splitter(*sSrc, "-s")
+		s2 := splitter(*s2Src, "-s2")
+		ok, err := reason.Commute(s, s2, nil, 0)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(ok)
+	default:
+		usage()
+	}
+}
+
+func compile(src, flagName string) *vsa.Automaton {
+	if src == "" {
+		fatal(fmt.Errorf("missing %s formula", flagName))
+	}
+	a, err := regexformula.Compile(src)
+	if err != nil {
+		fatal(err)
+	}
+	return a
+}
+
+func splitter(src, flagName string) *core.Splitter {
+	s, err := core.NewSplitter(compile(src, flagName))
+	if err != nil {
+		fatal(err)
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spanctl:", err)
+	os.Exit(2)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: spanctl {eval|split|disjoint|check|selfsplit|splittable|canonical|commute} [flags]")
+	os.Exit(2)
+}

@@ -1,0 +1,71 @@
+package spanners_test
+
+import (
+	"fmt"
+
+	spanners "repro"
+)
+
+// ExampleSpanner_Eval extracts person-name-like tokens and prints their
+// spans in the paper's [i,j⟩ convention.
+func ExampleSpanner_Eval() {
+	p := spanners.MustCompile(`(.*[ .!?])?(y{[A-Z][a-z]+})(([^a-z].*)?|)`)
+	doc := "so Alice met Bob."
+	rel := p.Eval(doc)
+	for _, t := range rel.Tuples {
+		fmt.Printf("%v %s\n", t[0], t[0].In(doc))
+	}
+	// Output:
+	// [4,9⟩ Alice
+	// [14,17⟩ Bob
+}
+
+// ExampleSplitCorrect checks whether a 2-byte extractor can be pushed to
+// unit tokens (no) or to 2-grams (yes) — the Section 3.2 decision
+// problem.
+func ExampleSplitCorrect() {
+	p := spanners.MustCompile(".*y{ab}.*")
+	ps := spanners.MustCompile("y{ab}")
+	units := spanners.MustCompileSplitter(".*x{.}.*")
+	grams := spanners.MustCompileSplitter(".*x{..}.*")
+	ok1, _ := spanners.SplitCorrect(p, ps, units)
+	ok2, _ := spanners.SplitCorrect(p, ps, grams)
+	fmt.Println(ok1, ok2)
+	// Output:
+	// false true
+}
+
+// ExampleSplittable asks for any split-spanner at all and receives the
+// canonical one of Proposition 5.9 as a witness.
+func ExampleSplittable() {
+	p := spanners.MustCompile(".*y{a}.*")
+	s := spanners.MustCompileSplitter(".*x{.}.*")
+	ok, witness, _ := spanners.Splittable(p, s)
+	verified, _ := spanners.SplitCorrect(p, witness, s)
+	fmt.Println(ok, verified)
+	// Output:
+	// true true
+}
+
+// ExampleSplitter_IsDisjoint shows the Proposition 5.5 check on the two
+// splitter families the paper contrasts.
+func ExampleSplitter_IsDisjoint() {
+	tokens := spanners.MustCompileSplitter(".*x{.}.*")
+	grams := spanners.MustCompileSplitter(".*x{..}.*")
+	fmt.Println(tokens.IsDisjoint(), grams.IsDisjoint())
+	// Output:
+	// true false
+}
+
+// ExampleSplitCorrectWitness demonstrates the debugging use case: the
+// decision procedure returns a concrete document on which per-segment
+// evaluation would go wrong.
+func ExampleSplitCorrectWitness() {
+	p := spanners.MustCompile(".*y{ab}.*")
+	ps := spanners.MustCompile("y{ab}")
+	units := spanners.MustCompileSplitter(".*x{.}.*")
+	ok, witness, _ := spanners.SplitCorrectWitness(p, ps, units)
+	fmt.Println(ok, witness)
+	// Output:
+	// false ab
+}

@@ -1,0 +1,49 @@
+// The quickstart example: compile an extractor, prove it safe to
+// distribute over sentences, and evaluate it both ways.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	spanners "repro"
+	"repro/internal/library"
+)
+
+func main() {
+	// An extractor for the target of a negative sentiment, sentence-local
+	// by construction (its context stops at sentence boundaries).
+	p := spanners.MustCompile(`(.*[ .!?\n])?bad (y{[a-z]+})(([^a-z].*)?|)`)
+	sentences := spanners.WrapSplitter(library.Sentences())
+
+	// Ask the system — not the developer — whether per-sentence
+	// evaluation is safe (self-splittability, Theorem 5.17).
+	ok, err := spanners.SelfSplittable(p, sentences)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("self-splittable by sentences: %v\n", ok)
+
+	doc := "the tea was fine.really bad coffee though!bad service too.price was good."
+	direct := p.Eval(doc)
+	parallelRel := spanners.ParallelEval(p, sentences, doc, 4)
+
+	fmt.Printf("direct:   %d extraction(s)\n", direct.Len())
+	fmt.Printf("parallel: %d extraction(s)\n", parallelRel.Len())
+	for _, t := range direct.Tuples {
+		fmt.Printf("  y = %v %q\n", t[0], t[0].In(doc))
+	}
+	if !direct.Equal(parallelRel) {
+		log.Fatal("parallel evaluation diverged — impossible for a self-splittable spanner")
+	}
+
+	// A 2-gram extractor is NOT self-splittable by single tokens; the
+	// decision procedure tells us before any wrong results are produced.
+	grams := spanners.MustCompile(".*y{[a-z]+ [a-z]+}.*")
+	tokens := spanners.WrapSplitter(library.Tokens())
+	ok, err = spanners.SelfSplittable(grams, tokens)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("2-gram extractor self-splittable by tokens: %v\n", ok)
+}

@@ -1,0 +1,93 @@
+package spanners
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeSurface(t *testing.T) {
+	p := MustCompile(".*y{ab}.*")
+	if got := p.Vars(); len(got) != 1 || got[0] != "y" {
+		t.Fatalf("Vars = %v", got)
+	}
+	if !p.Matches("xxabxx") || p.Matches("ba") {
+		t.Fatal("Matches broken")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.String(), "vars=[y]") {
+		t.Fatalf("String = %q", p.String())
+	}
+	proj, err := p.Project()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.Vars() == nil && len(proj.Vars()) != 0 {
+		t.Fatal("projection to Boolean failed")
+	}
+	if _, err := p.Project("nope"); err == nil {
+		t.Fatal("bad projection must fail")
+	}
+	if _, err := p.Union(MustCompile("z{a}")); err == nil {
+		t.Fatal("incompatible union must fail")
+	}
+	wrapped, err := FromAutomaton(p.Automaton())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := wrapped.EquivalentTo(p)
+	if err != nil || !eq {
+		t.Fatalf("FromAutomaton round trip: %v %v", eq, err)
+	}
+}
+
+func TestFacadeSplitterSurface(t *testing.T) {
+	s := MustCompileSplitter(".*x{..}.*")
+	doc := "abcd"
+	segs := s.Segments(doc)
+	if len(segs) != 3 || segs[0].Text != "ab" {
+		t.Fatalf("Segments = %v", segs)
+	}
+	if !strings.Contains(s.String(), "var=x") {
+		t.Fatalf("String = %q", s.String())
+	}
+	sp, err := SplitterFrom(MustCompile(".*x{.}.*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Split("ab")) != 2 {
+		t.Fatal("SplitterFrom broken")
+	}
+}
+
+func TestFacadeComposeAndCanonical(t *testing.T) {
+	ps := MustCompile("y{a}")
+	s := MustCompileSplitter(".*x{.}.*")
+	comp := Compose(ps, s)
+	rel := comp.Eval("aba")
+	if rel.Len() != 2 {
+		t.Fatalf("composed eval = %v", rel)
+	}
+	p := MustCompile(".*y{a}.*")
+	can := Canonical(p, s)
+	ok, err := SplitCorrect(p, can, s)
+	if err != nil || !ok {
+		t.Fatalf("canonical must be split-correct: %v %v", ok, err)
+	}
+	// SelfSplittable general fallback path (non-disjoint splitter): every
+	// "ab" occurrence is itself a 2-gram window, so this holds.
+	grams := MustCompileSplitter(".*x{..}.*")
+	ok, err = SelfSplittable(MustCompile(".*y{ab}.*"), grams)
+	if err != nil || !ok {
+		t.Fatalf("ab-extractor must be self-splittable by 2-grams: %v %v", ok, err)
+	}
+	// A 3-byte span is not coverable by 2-gram windows.
+	ok, err = SelfSplittable(MustCompile(".*y{aab}.*"), grams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("3-byte spans cannot be self-splittable by 2-grams")
+	}
+}

@@ -1,0 +1,393 @@
+// Package algebra implements the spanner algebra of Fagin et al. as
+// recalled in Appendix A of the paper: union, projection and natural join
+// of regular spanners, concatenation with regular languages (Lemma A.3),
+// and — completing the closure properties of regular spanners mentioned in
+// Section 1 — difference. All operations work on functional extended
+// VSet-automata and return automata of the same kind.
+package algebra
+
+import (
+	"fmt"
+
+	"repro/internal/alphabet"
+	"repro/internal/automata"
+	"repro/internal/vsa"
+)
+
+// Union returns a spanner for P1 ∪ P2 (Definition A.1). The spanners must
+// be union compatible (same variable set); the result uses P1's variable
+// order.
+func Union(p1, p2 *vsa.Automaton) (*vsa.Automaton, error) {
+	p2, err := align(p1, p2)
+	if err != nil {
+		return nil, fmt.Errorf("algebra: union: %w", err)
+	}
+	out := vsa.NewAutomaton(p1.Vars...)
+	// Fresh start state with copies of both automata; the start simulates
+	// both starts by duplicating their edges and finals.
+	off1 := copyInto(out, p1)
+	off2 := copyInto(out, p2)
+	for _, src := range []struct {
+		a   *vsa.Automaton
+		off int
+	}{{p1, off1}, {p2, off2}} {
+		st := src.a.States[src.a.Start]
+		for _, e := range st.Edges {
+			out.AddEdge(out.Start, e.Ops, e.Class, e.To+src.off)
+		}
+		for _, f := range st.Finals {
+			out.AddFinal(out.Start, f)
+		}
+	}
+	return out, nil
+}
+
+// copyInto appends a disjoint copy of src to dst and returns the state
+// offset.
+func copyInto(dst, src *vsa.Automaton) int {
+	off := dst.NumStates()
+	for range src.States {
+		dst.AddState()
+	}
+	for q, st := range src.States {
+		for _, e := range st.Edges {
+			dst.AddEdge(q+off, e.Ops, e.Class, e.To+off)
+		}
+		for _, f := range st.Finals {
+			dst.AddFinal(q+off, f)
+		}
+	}
+	return off
+}
+
+func align(a, b *vsa.Automaton) (*vsa.Automaton, error) {
+	if len(a.Vars) != len(b.Vars) {
+		return nil, fmt.Errorf("spanners are not union compatible: %v vs %v", a.Vars, b.Vars)
+	}
+	same := true
+	for i := range a.Vars {
+		if a.Vars[i] != b.Vars[i] {
+			same = false
+		}
+	}
+	if same {
+		return b, nil
+	}
+	return b.ReorderVars(a.Vars)
+}
+
+// Project returns π_Y(p): the spanner over the variables Y obtained by
+// dropping the operations of all other variables (Definition A.1). Y must
+// be a subset of p's variables.
+func Project(p *vsa.Automaton, ys []string) (*vsa.Automaton, error) {
+	keep := make([]int, 0, len(ys)) // old index per new index
+	for _, y := range ys {
+		i := p.VarIndex(y)
+		if i < 0 {
+			return nil, fmt.Errorf("algebra: project: variable %q not in spanner", y)
+		}
+		keep = append(keep, i)
+	}
+	mapOps := func(o vsa.OpSet) vsa.OpSet {
+		var out vsa.OpSet
+		for newV, oldV := range keep {
+			if o.OpensVar(oldV) {
+				out |= vsa.Open(newV)
+			}
+			if o.ClosesVar(oldV) {
+				out |= vsa.Close(newV)
+			}
+		}
+		return out
+	}
+	out := vsa.NewAutomaton(ys...)
+	for range p.States[1:] {
+		out.AddState()
+	}
+	out.Start = p.Start
+	for q, st := range p.States {
+		for _, e := range st.Edges {
+			out.AddEdge(q, mapOps(e.Ops), e.Class, e.To)
+		}
+		for _, f := range st.Finals {
+			out.AddFinal(q, mapOps(f))
+		}
+	}
+	return out, nil
+}
+
+// Join returns the natural join p1 ⋈ p2 (Definition A.1): tuples over the
+// united variable set that agree with a tuple of each operand. On
+// automata this is a product construction that synchronizes bytes and the
+// operations of shared variables, while the operations of private
+// variables interleave freely.
+func Join(p1, p2 *vsa.Automaton) (*vsa.Automaton, error) {
+	vars := append([]string(nil), p1.Vars...)
+	sharedOf2 := map[int]int{} // p2 var index -> joint index
+	privOf2 := map[int]int{}
+	for i2, v := range p2.Vars {
+		if i1 := p1.VarIndex(v); i1 >= 0 {
+			sharedOf2[i2] = i1
+		} else {
+			privOf2[i2] = len(vars)
+			vars = append(vars, v)
+		}
+	}
+	if len(vars) > vsa.MaxVars {
+		return nil, fmt.Errorf("algebra: join: %d variables exceed the limit %d", len(vars), vsa.MaxVars)
+	}
+	map2 := func(o vsa.OpSet) (joint vsa.OpSet, sharedPart vsa.OpSet) {
+		for i2 := range p2.Vars {
+			if o.OpensVar(i2) {
+				if j, ok := sharedOf2[i2]; ok {
+					joint |= vsa.Open(j)
+					sharedPart |= vsa.Open(j)
+				} else {
+					joint |= vsa.Open(privOf2[i2])
+				}
+			}
+			if o.ClosesVar(i2) {
+				if j, ok := sharedOf2[i2]; ok {
+					joint |= vsa.Close(j)
+					sharedPart |= vsa.Close(j)
+				} else {
+					joint |= vsa.Close(privOf2[i2])
+				}
+			}
+		}
+		return joint, sharedPart
+	}
+	shared1 := vsa.OpSet(0) // mask of shared ops in p1/joint indexing
+	for i2 := range sharedOf2 {
+		shared1 |= vsa.Wrap(sharedOf2[i2])
+	}
+	out := vsa.NewAutomaton(vars...)
+	type pair struct{ q1, q2 int }
+	id := map[pair]int{}
+	var queue []pair
+	intern := func(pr pair) int {
+		if i, ok := id[pr]; ok {
+			return i
+		}
+		var i int
+		if len(id) == 0 {
+			i = 0
+		} else {
+			i = out.AddState()
+		}
+		id[pr] = i
+		queue = append(queue, pr)
+		return i
+	}
+	intern(pair{p1.Start, p2.Start})
+	for len(queue) > 0 {
+		pr := queue[0]
+		queue = queue[1:]
+		from := id[pr]
+		for _, e1 := range p1.States[pr.q1].Edges {
+			for _, e2 := range p2.States[pr.q2].Edges {
+				cls := e1.Class.Intersect(e2.Class)
+				if cls.IsEmpty() {
+					continue
+				}
+				joint2, sharedPart2 := map2(e2.Ops)
+				if e1.Ops&shared1 != sharedPart2 {
+					continue // shared variables must operate simultaneously
+				}
+				out.AddEdge(from, e1.Ops|joint2, cls, intern(pair{e1.To, e2.To}))
+			}
+		}
+		for _, f1 := range p1.States[pr.q1].Finals {
+			for _, f2 := range p2.States[pr.q2].Finals {
+				joint2, sharedPart2 := map2(f2)
+				if f1&shared1 != sharedPart2 {
+					continue
+				}
+				out.AddFinal(from, f1|joint2)
+			}
+		}
+	}
+	out.MergeEdges()
+	return out, nil
+}
+
+// ConcatLang returns the spanner L·p or p·L (Lemma A.3): p evaluated on a
+// suffix (resp. prefix) of the document whose complement lies in the
+// regular language given as a Boolean automaton.
+func ConcatLang(lang *vsa.Automaton, p *vsa.Automaton, langFirst bool) (*vsa.Automaton, error) {
+	if lang.Arity() != 0 {
+		return nil, fmt.Errorf("algebra: concat: language operand must be Boolean, has %d variables", lang.Arity())
+	}
+	first, second := lang, p
+	if !langFirst {
+		first, second = p, lang
+	}
+	out := vsa.NewAutomaton(p.Vars...)
+	// Copy first without its finals: mid-run acceptance of the first part
+	// is not acceptance of the concatenation.
+	off1 := out.NumStates()
+	for range first.States {
+		out.AddState()
+	}
+	for q, st := range first.States {
+		for _, e := range st.Edges {
+			out.AddEdge(q+off1, e.Ops, e.Class, e.To+off1)
+		}
+	}
+	off2 := copyInto(out, second)
+	// Start simulates first's start.
+	for _, e := range first.States[first.Start].Edges {
+		out.AddEdge(out.Start, e.Ops, e.Class, e.To+off1)
+	}
+	// Wherever first accepts with ops f, continue as second's start: add
+	// f-combined edges and finals.
+	link := func(fromOut int, f vsa.OpSet) {
+		st2 := second.States[second.Start]
+		for _, e := range st2.Edges {
+			out.AddEdge(fromOut, f|e.Ops, e.Class, e.To+off2)
+		}
+		for _, g := range st2.Finals {
+			out.AddFinal(fromOut, f|g)
+		}
+	}
+	for q, st := range first.States {
+		for _, f := range st.Finals {
+			link(q+off1, f)
+		}
+	}
+	for _, f := range first.States[first.Start].Finals {
+		link(out.Start, f)
+	}
+	return out, nil
+}
+
+// Difference returns a spanner for P1 ∖ P2: the tuples selected by p1 but
+// not by p2. It determinizes p2 over the shared extended alphabet and
+// complements it within the universe of valid (document, tuple) words —
+// difference is what pushes regular spanners beyond regex formulas
+// (Section 4.3), and it inherits determinization's exponential worst case,
+// guarded by limit.
+func Difference(p1, p2 *vsa.Automaton, limit int) (*vsa.Automaton, error) {
+	p2, err := align(p1, p2)
+	if err != nil {
+		return nil, fmt.Errorf("algebra: difference: %w", err)
+	}
+	d2, err := p2.Determinize(limit)
+	if err != nil {
+		return nil, err
+	}
+	// Complement within each state's extended-letter alphabet by a product
+	// of p1 with the completed d2, accepting where p1 accepts and d2 does
+	// not.
+	out := vsa.NewAutomaton(p1.Vars...)
+	const dead = -1
+	type pair struct{ q1, q2 int }
+	id := map[pair]int{}
+	var queue []pair
+	intern := func(pr pair) int {
+		if i, ok := id[pr]; ok {
+			return i
+		}
+		var i int
+		if len(id) == 0 {
+			i = 0
+		} else {
+			i = out.AddState()
+		}
+		id[pr] = i
+		queue = append(queue, pr)
+		return i
+	}
+	intern(pair{p1.Start, d2.Start})
+	for len(queue) > 0 {
+		pr := queue[0]
+		queue = queue[1:]
+		from := id[pr]
+		for _, e1 := range p1.States[pr.q1].Edges {
+			// Split e1's class by d2's moves on the same ops.
+			var covered alphabet.Class
+			if pr.q2 != dead {
+				for _, e2 := range d2.States[pr.q2].Edges {
+					if e2.Ops != e1.Ops {
+						continue
+					}
+					cls := e1.Class.Intersect(e2.Class)
+					if !cls.IsEmpty() {
+						out.AddEdge(from, e1.Ops, cls, intern(pair{e1.To, e2.To}))
+						covered = covered.Union(cls)
+					}
+				}
+			}
+			if rest := e1.Class.Minus(covered); !rest.IsEmpty() {
+				out.AddEdge(from, e1.Ops, rest, intern(pair{e1.To, dead}))
+			}
+		}
+		for _, f1 := range p1.States[pr.q1].Finals {
+			accepted2 := false
+			if pr.q2 != dead {
+				for _, f2 := range d2.States[pr.q2].Finals {
+					if f2 == f1 {
+						accepted2 = true
+					}
+				}
+			}
+			if !accepted2 {
+				out.AddFinal(from, f1)
+			}
+		}
+	}
+	out.MergeEdges()
+	return out, nil
+}
+
+// Restrict returns the spanner that behaves like p on documents in the
+// regular language of the Boolean automaton lang and is empty elsewhere.
+// It implements the document-level filtering used by splitters with
+// filter (Section 7.2) and commutativity relative to a context R
+// (Section 6).
+func Restrict(p *vsa.Automaton, lang *vsa.Automaton) (*vsa.Automaton, error) {
+	if lang.Arity() != 0 {
+		return nil, fmt.Errorf("algebra: restrict: language operand must be Boolean")
+	}
+	return Join(p, lang)
+}
+
+// DomainLanguage returns a Boolean automaton accepting exactly the
+// documents on which p produces at least one tuple (the language L_P of
+// Lemma 7.5). It erases variable operations, which may make the result
+// nondeterministic.
+func DomainLanguage(p *vsa.Automaton) *vsa.Automaton {
+	out := vsa.NewAutomaton()
+	for range p.States[1:] {
+		out.AddState()
+	}
+	out.Start = p.Start
+	for q, st := range p.States {
+		for _, e := range st.Edges {
+			out.AddEdge(q, 0, e.Class, e.To)
+		}
+		if len(st.Finals) > 0 {
+			out.AddFinal(q, 0)
+		}
+	}
+	return out
+}
+
+// LanguageOf compiles a Boolean spanner into a plain NFA over bytes, for
+// interoperability with the automata package.
+func LanguageOf(p *vsa.Automaton) *automata.NFA {
+	n := automata.New(256)
+	for q := range p.States {
+		n.AddState(len(p.States[q].Finals) > 0)
+	}
+	for q, st := range p.States {
+		for _, e := range st.Edges {
+			for _, b := range e.Class.Bytes() {
+				n.AddEdge(q, int(b), e.To)
+			}
+		}
+	}
+	n.AddStart(p.Start)
+	n.DedupeEdges()
+	return n
+}

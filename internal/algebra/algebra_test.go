@@ -1,0 +1,273 @@
+package algebra
+
+import (
+	"testing"
+
+	"repro/internal/regexformula"
+	"repro/internal/span"
+	"repro/internal/vsa"
+)
+
+func docs(sigma string, maxLen int) []string {
+	out := []string{""}
+	frontier := []string{""}
+	for l := 0; l < maxLen; l++ {
+		var next []string
+		for _, d := range frontier {
+			for i := 0; i < len(sigma); i++ {
+				next = append(next, d+string(sigma[i]))
+			}
+		}
+		out = append(out, next...)
+		frontier = next
+	}
+	return out
+}
+
+func mustEval(t *testing.T, a *vsa.Automaton, d string, vars []string) *span.Relation {
+	t.Helper()
+	rel := a.Eval(d)
+	aligned, err := rel.Project(vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return aligned
+}
+
+func TestUnionAgainstRelations(t *testing.T) {
+	pairs := [][2]string{
+		{"x{a}.*", ".*x{b}"},
+		{"x{ab}", "x{a}b|a(x{b})"},
+		{".*x{a}.*", ".*x{.}.*"},
+	}
+	for _, p := range pairs {
+		a := regexformula.MustCompile(p[0])
+		b := regexformula.MustCompile(p[1])
+		u, err := Union(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := u.Validate(); err != nil {
+			t.Fatalf("union invalid: %v", err)
+		}
+		for _, d := range docs("ab", 5) {
+			want := a.Eval(d)
+			if err := want.Union(mustEval(t, b, d, want.Vars)); err != nil {
+				t.Fatal(err)
+			}
+			if !mustEval(t, u, d, want.Vars).Equal(want) {
+				t.Fatalf("union(%s,%s) wrong on %q", p[0], p[1], d)
+			}
+		}
+	}
+}
+
+func TestUnionRejectsIncompatible(t *testing.T) {
+	a := regexformula.MustCompile("x{a}")
+	b := regexformula.MustCompile("y{a}")
+	if _, err := Union(a, b); err == nil {
+		t.Fatal("union of incompatible spanners must fail")
+	}
+}
+
+func TestProjectAgainstRelations(t *testing.T) {
+	p := regexformula.MustCompile(".*x{a}y{b*}.*")
+	proj, err := Project(p, []string{"y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proj.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs("ab", 5) {
+		want, err := p.Eval(d).Project([]string{"y"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !proj.Eval(d).Equal(want) {
+			t.Fatalf("projection wrong on %q", d)
+		}
+	}
+	if _, err := Project(p, []string{"z"}); err == nil {
+		t.Fatal("projection onto unknown variable must fail")
+	}
+}
+
+func TestJoinAgainstRelations(t *testing.T) {
+	cases := [][2]string{
+		{".*x{a}y{.*}", ".*x{a}.*"},      // shared x
+		{".*x{a}.*", ".*y{b}.*"},         // no shared variables
+		{".*x{.}y{.}.*", ".*y{.}z{.}.*"}, // chain x-y-z
+		{"x{.*}", "x{a*}"},               // shared whole-document var
+	}
+	for _, c := range cases {
+		a := regexformula.MustCompile(c[0])
+		b := regexformula.MustCompile(c[1])
+		j, err := Join(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Validate(); err != nil {
+			t.Fatalf("join invalid: %v", err)
+		}
+		for _, d := range docs("ab", 4) {
+			want := a.Eval(d).Join(b.Eval(d))
+			got := mustEval(t, j, d, want.Vars)
+			if !got.Equal(want) {
+				t.Fatalf("join(%s,%s) on %q: got %v, want %v", c[0], c[1], d, got, want)
+			}
+		}
+	}
+}
+
+func TestJoinExample71Shape(t *testing.T) {
+	// A miniature of Example 7.1's three-way join: α(x,y) ⋈ P1(x,x') ⋈
+	// P2(x',y') — here small extractors over {a,b}.
+	alpha := regexformula.MustCompile(".*x{a}.*y{b}.*")
+	p1 := regexformula.MustCompile(".*x{a}.*xp{a}.*|.*xp{a}.*x{a}.*|.*x{a}.*")
+	j, err := Join(alpha, p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := "aabb"
+	rel := j.Eval(d)
+	// Every joined tuple agrees with alpha on x and y.
+	alphaRel := alpha.Eval(d)
+	projected, err := rel.Project([]string{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range projected.Tuples {
+		if !alphaRel.Has(tp) {
+			t.Fatalf("join produced tuple %v outside α", tp)
+		}
+	}
+}
+
+func TestConcatLang(t *testing.T) {
+	lang := regexformula.MustCompile("a*")
+	p := regexformula.MustCompile("x{b}")
+	lp, err := ConcatLang(lang, p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// a* · x{b} over aab selects exactly [3,4⟩.
+	rel := lp.Eval("aab")
+	want := span.NewRelation("x")
+	want.Add(span.Tuple{span.New(3, 4)})
+	if !rel.Equal(want) {
+		t.Fatalf("a*·x{b} on aab = %v, want %v", rel, want)
+	}
+	if lp.Eval("ba").Len() != 0 {
+		t.Fatal("a*·x{b} must reject ba")
+	}
+	pl, err := ConcatLang(lang, p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel = pl.Eval("baa")
+	want = span.NewRelation("x")
+	want.Add(span.Tuple{span.New(1, 2)})
+	if !rel.Equal(want) {
+		t.Fatalf("x{b}·a* on baa = %v, want %v", rel, want)
+	}
+	// Equivalence with the direct formula.
+	direct := regexformula.MustCompile("a*(x{b})")
+	eq, err := vsa.Equivalent(lp, direct, 0)
+	if err != nil || !eq {
+		t.Fatalf("a*·x{b} must equal a*(x{b}): %v %v", eq, err)
+	}
+}
+
+func TestDifferenceAgainstRelations(t *testing.T) {
+	cases := [][2]string{
+		{".*x{.}.*", ".*x{a}.*"}, // all unit spans minus a-spans
+		{"x{.*}", "x{a*}"},
+		{".*x{ab}.*", ".*x{ab}.*"}, // empty difference
+	}
+	for _, c := range cases {
+		a := regexformula.MustCompile(c[0])
+		b := regexformula.MustCompile(c[1])
+		diff, err := Difference(a, b, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := diff.Validate(); err != nil {
+			t.Fatalf("difference invalid: %v", err)
+		}
+		for _, d := range docs("ab", 5) {
+			ra := a.Eval(d)
+			rb := mustEval(t, b, d, ra.Vars)
+			want := span.NewRelation(ra.Vars...)
+			for _, tp := range ra.Tuples {
+				if !rb.Has(tp) {
+					want.Add(tp)
+				}
+			}
+			got := mustEval(t, diff, d, ra.Vars)
+			if !got.Equal(want) {
+				t.Fatalf("difference(%s,%s) on %q: got %v, want %v", c[0], c[1], d, got, want)
+			}
+		}
+	}
+}
+
+func TestRestrictAndDomain(t *testing.T) {
+	p := regexformula.MustCompile(".*x{b}.*")
+	lang := regexformula.MustCompile("a.*")
+	r, err := Restrict(p, lang)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs("ab", 5) {
+		want := p.Eval(d)
+		if len(d) == 0 || d[0] != 'a' {
+			want = span.NewRelation("x")
+		}
+		if !r.Eval(d).Equal(want) {
+			t.Fatalf("restrict wrong on %q", d)
+		}
+	}
+	dom := DomainLanguage(p)
+	if dom.Arity() != 0 {
+		t.Fatal("domain language must be Boolean")
+	}
+	for _, d := range docs("ab", 5) {
+		if dom.EvalBool(d) != (p.Eval(d).Len() > 0) {
+			t.Fatalf("domain language wrong on %q", d)
+		}
+	}
+}
+
+func TestLanguageOf(t *testing.T) {
+	p := regexformula.MustCompile("a*b")
+	n := LanguageOf(p)
+	if !n.Accepts([]int{'a', 'a', 'b'}) || n.Accepts([]int{'b', 'a'}) {
+		t.Fatal("LanguageOf broken")
+	}
+}
+
+// TestJoinCommutative verifies commutativity of ⋈ (used implicitly by
+// Section 7.1's well-definedness remark).
+func TestJoinCommutative(t *testing.T) {
+	a := regexformula.MustCompile(".*x{a}y{.}.*")
+	b := regexformula.MustCompile(".*y{b}.*")
+	ab, err := Join(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := Join(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs("ab", 4) {
+		ra := mustEval(t, ab, d, []string{"x", "y"})
+		rb := mustEval(t, ba, d, []string{"x", "y"})
+		if !ra.Equal(rb) {
+			t.Fatalf("join not commutative on %q", d)
+		}
+	}
+}

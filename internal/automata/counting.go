@@ -1,0 +1,288 @@
+package automata
+
+import (
+	"math/big"
+)
+
+// CountAcceptingPaths returns, for each length ℓ = 0..maxLen, the number of
+// accepting paths of length ℓ (summed over start states). For an
+// unambiguous automaton this equals the number of accepted words of each
+// length, which is the quantity compared by the polynomial containment
+// test of Stearns and Hunt used in Lemma 5.6.
+func (a *NFA) CountAcceptingPaths(maxLen int) []*big.Int {
+	n := a.Len()
+	cur := make([]*big.Int, n)
+	for i := range cur {
+		cur[i] = new(big.Int)
+	}
+	for _, s := range a.Starts {
+		cur[s].Add(cur[s], big.NewInt(1))
+	}
+	out := make([]*big.Int, maxLen+1)
+	sumFinal := func(v []*big.Int) *big.Int {
+		t := new(big.Int)
+		for q, f := range a.Final {
+			if f {
+				t.Add(t, v[q])
+			}
+		}
+		return t
+	}
+	out[0] = sumFinal(cur)
+	for l := 1; l <= maxLen; l++ {
+		next := make([]*big.Int, n)
+		for i := range next {
+			next[i] = new(big.Int)
+		}
+		for q, es := range a.Adj {
+			if cur[q].Sign() == 0 {
+				continue
+			}
+			for _, e := range es {
+				next[e.To].Add(next[e.To], cur[q])
+			}
+		}
+		cur = next
+		out[l] = sumFinal(cur)
+	}
+	return out
+}
+
+// ContainsUnambiguous decides L(a) ⊆ L(b) in polynomial time for
+// unambiguous a and b, by comparing the number of accepted words of a with
+// the number of accepted words of the product a×b for every length up to
+// |a| + |a×b|. Both counts are path counts, which coincide with word
+// counts by unambiguity; since #(a×b)(w) = #a(w)·#b(w) ≤ #a(w) pointwise,
+// per-length equality is equivalent to pointwise equality, and the
+// difference sequence satisfies a linear recurrence of order at most
+// |a| + |a×b| (Cayley–Hamilton), so checking that many lengths suffices.
+//
+// If verify is true the unambiguity of both inputs is checked first and
+// the function panics if it fails; the decision procedures of the split
+// package construct automata that are unambiguous by design and pass
+// verify=false in production, true under test.
+func ContainsUnambiguous(a, b *NFA, verify bool) bool {
+	if verify {
+		if !a.IsUnambiguous() {
+			panic("automata: ContainsUnambiguous: left automaton is ambiguous")
+		}
+		if !b.IsUnambiguous() {
+			panic("automata: ContainsUnambiguous: right automaton is ambiguous")
+		}
+	}
+	at := a.Trim()
+	p := Product(at, b.Trim())
+	bound := at.Len() + p.Len() + 1
+	ca := at.CountAcceptingPaths(bound)
+	cp := p.CountAcceptingPaths(bound)
+	for l := 0; l <= bound; l++ {
+		if ca[l].Cmp(cp[l]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Term is one summand of a Series: Coef times the accepting-path counting
+// function of A.
+type Term struct {
+	Coef int64
+	A    *NFA
+}
+
+// Series is a formal ℤ-linear combination of accepting-path counting
+// functions, s(w) = Σ_i Coef_i · #acc_{A_i}(w). It is the tool behind the
+// inclusion–exclusion containment tests used for the boundary cases of
+// Lemma 5.6 and Theorem 5.7 (tuples whose spans are all empty at a single
+// boundary, where the paper's uniqueness argument needs repair; see
+// DESIGN.md).
+type Series struct {
+	Terms []Term
+}
+
+// totalStates returns the summed state count of all trimmed terms.
+func (s *Series) trimmed() ([]*NFA, int) {
+	ts := make([]*NFA, len(s.Terms))
+	n := 0
+	for i, t := range s.Terms {
+		ts[i] = t.A.Trim()
+		n += ts[i].Len()
+	}
+	return ts, n
+}
+
+// IsZeroNonnegative decides whether s(w) = 0 for every word w, under the
+// caller-guaranteed precondition that s(w) ≥ 0 pointwise (or ≤ 0
+// pointwise). Under that precondition the per-length sums vanish iff the
+// series vanishes pointwise, and the per-length sequence obeys a linear
+// recurrence of order at most the total number of states, so finitely many
+// lengths decide.
+func (s *Series) IsZeroNonnegative() bool {
+	ts, n := s.trimmed()
+	bound := n + 1
+	total := make([]*big.Int, bound+1)
+	for l := range total {
+		total[l] = new(big.Int)
+	}
+	for i, t := range ts {
+		counts := t.CountAcceptingPaths(bound)
+		c := big.NewInt(s.Terms[i].Coef)
+		for l := 0; l <= bound; l++ {
+			var tmp big.Int
+			tmp.Mul(counts[l], c)
+			total[l].Add(total[l], &tmp)
+		}
+	}
+	for l := 0; l <= bound; l++ {
+		if total[l].Sign() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsZeroExact decides whether s(w) = 0 for every word w with no
+// precondition, using Tzeng's vector-basis algorithm for weighted-automata
+// equivalence over ℚ: explore the space spanned by the reachable weight
+// vectors; the series is zero iff every vector in that space is orthogonal
+// to the final-weight vector. Runs in polynomial time (at most dim basis
+// extensions, each spawning |Σ| successors).
+func (s *Series) IsZeroExact() bool {
+	ts, n := s.trimmed()
+	if n == 0 {
+		return true
+	}
+	numSymbols := 0
+	for _, t := range ts {
+		if t.NumSymbols > numSymbols {
+			numSymbols = t.NumSymbols
+		}
+	}
+	// Offsets into the combined state space.
+	offs := make([]int, len(ts))
+	{
+		o := 0
+		for i, t := range ts {
+			offs[i] = o
+			o += t.Len()
+		}
+	}
+	// Initial vector: Coef_i on each start state of term i.
+	init := make([]*big.Rat, n)
+	for i := range init {
+		init[i] = new(big.Rat)
+	}
+	for i, t := range ts {
+		c := new(big.Rat).SetInt64(s.Terms[i].Coef)
+		for _, st := range t.Starts {
+			init[offs[i]+st].Add(init[offs[i]+st], c)
+		}
+	}
+	// Final vector.
+	fin := make([]*big.Rat, n)
+	for i := range fin {
+		fin[i] = new(big.Rat)
+	}
+	one := new(big.Rat).SetInt64(1)
+	for i, t := range ts {
+		for q, f := range t.Final {
+			if f {
+				fin[offs[i]+q].Set(one)
+			}
+		}
+	}
+	dot := func(u, v []*big.Rat) *big.Rat {
+		acc := new(big.Rat)
+		var tmp big.Rat
+		for i := range u {
+			if u[i].Sign() != 0 && v[i].Sign() != 0 {
+				tmp.Mul(u[i], v[i])
+				acc.Add(acc, &tmp)
+			}
+		}
+		return acc
+	}
+	step := func(v []*big.Rat, sym int) []*big.Rat {
+		out := make([]*big.Rat, n)
+		for i := range out {
+			out[i] = new(big.Rat)
+		}
+		for i, t := range ts {
+			for q, es := range t.Adj {
+				from := offs[i] + q
+				if v[from].Sign() == 0 {
+					continue
+				}
+				for _, e := range es {
+					if e.Sym == sym {
+						to := offs[i] + e.To
+						out[to].Add(out[to], v[from])
+					}
+				}
+			}
+		}
+		return out
+	}
+	// Gaussian-elimination basis with pivot bookkeeping.
+	type row struct {
+		vec   []*big.Rat
+		pivot int
+	}
+	var basis []row
+	reduce := func(v []*big.Rat) (rem []*big.Rat, zero bool) {
+		w := make([]*big.Rat, n)
+		for i := range w {
+			w[i] = new(big.Rat).Set(v[i])
+		}
+		for _, r := range basis {
+			if w[r.pivot].Sign() == 0 {
+				continue
+			}
+			factor := new(big.Rat).Set(w[r.pivot])
+			var tmp big.Rat
+			for i := range w {
+				if r.vec[i].Sign() != 0 {
+					tmp.Mul(factor, r.vec[i])
+					w[i].Sub(w[i], &tmp)
+				}
+			}
+		}
+		for i := range w {
+			if w[i].Sign() != 0 {
+				return w, false
+			}
+		}
+		return nil, true
+	}
+	addToBasis := func(w []*big.Rat) {
+		pivot := -1
+		for i := range w {
+			if w[i].Sign() != 0 {
+				pivot = i
+				break
+			}
+		}
+		inv := new(big.Rat).Inv(w[pivot])
+		for i := range w {
+			w[i].Mul(w[i], inv)
+		}
+		basis = append(basis, row{w, pivot})
+	}
+	queue := [][]*big.Rat{init}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		w, zero := reduce(v)
+		if zero {
+			continue
+		}
+		if dot(v, fin).Sign() != 0 {
+			return false
+		}
+		addToBasis(w)
+		for sym := 0; sym < numSymbols; sym++ {
+			queue = append(queue, step(v, sym))
+		}
+	}
+	return true
+}

@@ -1,0 +1,619 @@
+// Package automata implements the classical-automata substrate used by the
+// spanner decision procedures: ε-free NFAs over an interned finite
+// alphabet, products, subset construction, containment (general and
+// deterministic), unambiguity testing, and two polynomial-time containment
+// procedures for unambiguous automata — accepting-path counting per length
+// (in the style of Stearns–Hunt) and Tzeng's vector-basis equivalence test
+// for weighted automata. These are the engines behind Theorem 4.3,
+// Lemma 5.6 and Theorem 5.7 of the paper.
+package automata
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Edge is a transition on an interned symbol.
+type Edge struct {
+	Sym int
+	To  int
+}
+
+// NFA is an ε-free nondeterministic finite automaton over symbols
+// 0..NumSymbols-1. Multiple start states are allowed.
+type NFA struct {
+	NumSymbols int
+	Starts     []int
+	Final      []bool
+	Adj        [][]Edge
+}
+
+// New returns an empty NFA over an alphabet of the given size.
+func New(numSymbols int) *NFA {
+	return &NFA{NumSymbols: numSymbols}
+}
+
+// AddState adds a state and returns its id.
+func (a *NFA) AddState(final bool) int {
+	a.Final = append(a.Final, final)
+	a.Adj = append(a.Adj, nil)
+	return len(a.Final) - 1
+}
+
+// AddStart marks q as a start state.
+func (a *NFA) AddStart(q int) { a.Starts = append(a.Starts, q) }
+
+// AddEdge adds the transition q --sym--> to.
+func (a *NFA) AddEdge(q, sym, to int) {
+	if sym < 0 || sym >= a.NumSymbols {
+		panic(fmt.Sprintf("automata: symbol %d out of range [0,%d)", sym, a.NumSymbols))
+	}
+	a.Adj[q] = append(a.Adj[q], Edge{sym, to})
+}
+
+// Len returns the number of states.
+func (a *NFA) Len() int { return len(a.Final) }
+
+// NumEdges returns the total number of transitions.
+func (a *NFA) NumEdges() int {
+	n := 0
+	for _, es := range a.Adj {
+		n += len(es)
+	}
+	return n
+}
+
+// DedupeEdges removes duplicate transitions in place. Counting-based
+// procedures call this to ensure set semantics of the transition relation.
+func (a *NFA) DedupeEdges() {
+	for q, es := range a.Adj {
+		if len(es) < 2 {
+			continue
+		}
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].Sym != es[j].Sym {
+				return es[i].Sym < es[j].Sym
+			}
+			return es[i].To < es[j].To
+		})
+		out := es[:0]
+		for i, e := range es {
+			if i == 0 || e != es[i-1] {
+				out = append(out, e)
+			}
+		}
+		a.Adj[q] = out
+	}
+}
+
+// Accepts reports whether the automaton accepts the given word, by direct
+// state-set simulation.
+func (a *NFA) Accepts(word []int) bool {
+	cur := map[int]bool{}
+	for _, s := range a.Starts {
+		cur[s] = true
+	}
+	for _, sym := range word {
+		next := map[int]bool{}
+		for q := range cur {
+			for _, e := range a.Adj[q] {
+				if e.Sym == sym {
+					next[e.To] = true
+				}
+			}
+		}
+		cur = next
+		if len(cur) == 0 {
+			return false
+		}
+	}
+	for q := range cur {
+		if a.Final[q] {
+			return true
+		}
+	}
+	return false
+}
+
+// reachable returns the set of states reachable from the start states.
+func (a *NFA) reachable() []bool {
+	seen := make([]bool, a.Len())
+	stack := append([]int(nil), a.Starts...)
+	for _, s := range stack {
+		seen[s] = true
+	}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range a.Adj[q] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+// coReachable returns the set of states from which a final state is
+// reachable.
+func (a *NFA) coReachable() []bool {
+	rev := make([][]int, a.Len())
+	for q, es := range a.Adj {
+		for _, e := range es {
+			rev[e.To] = append(rev[e.To], q)
+		}
+	}
+	seen := make([]bool, a.Len())
+	var stack []int
+	for q, f := range a.Final {
+		if f {
+			seen[q] = true
+			stack = append(stack, q)
+		}
+	}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range rev[q] {
+			if !seen[p] {
+				seen[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return seen
+}
+
+// Trim returns an equivalent automaton restricted to accessible and
+// co-accessible states (useful states). The result may have no states.
+func (a *NFA) Trim() *NFA {
+	reach := a.reachable()
+	co := a.coReachable()
+	keep := make([]int, a.Len())
+	out := New(a.NumSymbols)
+	for q := range keep {
+		if reach[q] && co[q] {
+			keep[q] = out.AddState(a.Final[q])
+		} else {
+			keep[q] = -1
+		}
+	}
+	for _, s := range a.Starts {
+		if keep[s] >= 0 {
+			out.AddStart(keep[s])
+		}
+	}
+	for q, es := range a.Adj {
+		if keep[q] < 0 {
+			continue
+		}
+		for _, e := range es {
+			if keep[e.To] >= 0 {
+				out.AddEdge(keep[q], e.Sym, keep[e.To])
+			}
+		}
+	}
+	out.DedupeEdges()
+	return out
+}
+
+// IsEmpty reports whether L(a) is empty.
+func (a *NFA) IsEmpty() bool {
+	reach := a.reachable()
+	for q, f := range a.Final {
+		if f && reach[q] {
+			return false
+		}
+	}
+	return true
+}
+
+// Product returns an automaton for L(a) ∩ L(b), built over reachable
+// state pairs only.
+func Product(a, b *NFA) *NFA {
+	if a.NumSymbols != b.NumSymbols {
+		panic("automata: product over different alphabets")
+	}
+	out := New(a.NumSymbols)
+	type pair struct{ p, q int }
+	id := map[pair]int{}
+	var queue []pair
+	add := func(pr pair) int {
+		if i, ok := id[pr]; ok {
+			return i
+		}
+		i := out.AddState(a.Final[pr.p] && b.Final[pr.q])
+		id[pr] = i
+		queue = append(queue, pr)
+		return i
+	}
+	for _, s := range a.Starts {
+		for _, t := range b.Starts {
+			out.AddStart(add(pair{s, t}))
+		}
+	}
+	for len(queue) > 0 {
+		pr := queue[0]
+		queue = queue[1:]
+		from := id[pr]
+		for _, ea := range a.Adj[pr.p] {
+			for _, eb := range b.Adj[pr.q] {
+				if ea.Sym == eb.Sym {
+					out.AddEdge(from, ea.Sym, add(pair{ea.To, eb.To}))
+				}
+			}
+		}
+	}
+	out.DedupeEdges()
+	return out
+}
+
+// Union returns an automaton for L(a) ∪ L(b) (disjoint union of states).
+func Union(a, b *NFA) *NFA {
+	if a.NumSymbols != b.NumSymbols {
+		panic("automata: union over different alphabets")
+	}
+	out := New(a.NumSymbols)
+	off := a.Len()
+	for q := 0; q < a.Len(); q++ {
+		out.AddState(a.Final[q])
+	}
+	for q := 0; q < b.Len(); q++ {
+		out.AddState(b.Final[q])
+	}
+	for _, s := range a.Starts {
+		out.AddStart(s)
+	}
+	for _, s := range b.Starts {
+		out.AddStart(s + off)
+	}
+	for q, es := range a.Adj {
+		for _, e := range es {
+			out.AddEdge(q, e.Sym, e.To)
+		}
+	}
+	for q, es := range b.Adj {
+		for _, e := range es {
+			out.AddEdge(q+off, e.Sym, e.To+off)
+		}
+	}
+	return out
+}
+
+// IsDeterministic reports whether the automaton has at most one start state
+// and at most one transition per (state, symbol).
+func (a *NFA) IsDeterministic() bool {
+	if len(a.Starts) > 1 {
+		return false
+	}
+	for _, es := range a.Adj {
+		seen := map[int]int{}
+		for _, e := range es {
+			if to, ok := seen[e.Sym]; ok && to != e.To {
+				return false
+			}
+			seen[e.Sym] = e.To
+		}
+	}
+	return true
+}
+
+// ErrTooLarge is returned by subset-construction based procedures when the
+// intermediate deterministic automaton exceeds the configured state limit;
+// these problems are PSPACE-complete (Theorem 4.1), so a limit keeps the
+// library's behavior predictable on adversarial inputs.
+var ErrTooLarge = errors.New("automata: subset construction exceeds state limit")
+
+// DefaultLimit bounds the number of determinized states explored by
+// Determinize and Contains.
+const DefaultLimit = 1 << 20
+
+func setKey(set []int) string {
+	var b strings.Builder
+	for _, q := range set {
+		fmt.Fprintf(&b, "%x,", q)
+	}
+	return b.String()
+}
+
+func (a *NFA) succ(set []int, sym int) []int {
+	mark := map[int]bool{}
+	for _, q := range set {
+		for _, e := range a.Adj[q] {
+			if e.Sym == sym {
+				mark[e.To] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(mark))
+	for q := range mark {
+		out = append(out, q)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func anyFinal(a *NFA, set []int) bool {
+	for _, q := range set {
+		if a.Final[q] {
+			return true
+		}
+	}
+	return false
+}
+
+// Determinize returns a deterministic automaton (complete over the
+// alphabet, including a possible dead state) equivalent to a. It fails
+// with ErrTooLarge if more than limit subset states are produced; a
+// limit ≤ 0 means DefaultLimit.
+func (a *NFA) Determinize(limit int) (*NFA, error) {
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	out := New(a.NumSymbols)
+	id := map[string]int{}
+	var sets [][]int
+	add := func(set []int) (int, error) {
+		k := setKey(set)
+		if i, ok := id[k]; ok {
+			return i, nil
+		}
+		if len(id) >= limit {
+			return 0, ErrTooLarge
+		}
+		i := out.AddState(anyFinal(a, set))
+		id[k] = i
+		sets = append(sets, set)
+		return i, nil
+	}
+	start := append([]int(nil), a.Starts...)
+	sort.Ints(start)
+	start = dedupeInts(start)
+	s0, err := add(start)
+	if err != nil {
+		return nil, err
+	}
+	out.AddStart(s0)
+	for i := 0; i < len(sets); i++ {
+		for sym := 0; sym < a.NumSymbols; sym++ {
+			to, err := add(a.succ(sets[i], sym))
+			if err != nil {
+				return nil, err
+			}
+			out.AddEdge(i, sym, to)
+		}
+	}
+	return out, nil
+}
+
+func dedupeInts(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Contains decides L(a) ⊆ L(b) by an on-the-fly product of a with the
+// subset construction of b. It fails with ErrTooLarge when the explored
+// space exceeds limit (≤ 0 means DefaultLimit). If the languages are not
+// contained, witness holds a shortest counterexample word.
+func Contains(a, b *NFA, limit int) (ok bool, witness []int, err error) {
+	if a.NumSymbols != b.NumSymbols {
+		panic("automata: containment over different alphabets")
+	}
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	type node struct {
+		p   int
+		set string
+	}
+	type entry struct {
+		set  []int
+		prev int // index into bfs, -1 for roots
+		sym  int
+	}
+	seen := map[node]bool{}
+	var bfs []entry
+	var bfsP []int
+	bStart := append([]int(nil), b.Starts...)
+	sort.Ints(bStart)
+	bStart = dedupeInts(bStart)
+	for _, s := range a.Starts {
+		n := node{s, setKey(bStart)}
+		if !seen[n] {
+			seen[n] = true
+			bfs = append(bfs, entry{bStart, -1, -1})
+			bfsP = append(bfsP, s)
+		}
+	}
+	rebuild := func(i int) []int {
+		var w []int
+		for i >= 0 && bfs[i].sym >= 0 {
+			w = append(w, bfs[i].sym)
+			i = bfs[i].prev
+		}
+		for l, r := 0, len(w)-1; l < r; l, r = l+1, r-1 {
+			w[l], w[r] = w[r], w[l]
+		}
+		return w
+	}
+	for i := 0; i < len(bfs); i++ {
+		p, set := bfsP[i], bfs[i].set
+		if a.Final[p] && !anyFinal(b, set) {
+			return false, rebuild(i), nil
+		}
+		for _, e := range a.Adj[p] {
+			next := b.succ(set, e.Sym)
+			n := node{e.To, setKey(next)}
+			if seen[n] {
+				continue
+			}
+			if len(seen) >= limit {
+				return false, nil, ErrTooLarge
+			}
+			seen[n] = true
+			bfs = append(bfs, entry{next, i, e.Sym})
+			bfsP = append(bfsP, e.To)
+		}
+	}
+	return true, nil, nil
+}
+
+// ContainsDet decides L(a) ⊆ L(b) for deterministic b in time linear in
+// the product, the automaton-level analogue of Theorem 4.3's NL bound.
+func ContainsDet(a, b *NFA) (ok bool, witness []int) {
+	if !b.IsDeterministic() {
+		panic("automata: ContainsDet requires deterministic b")
+	}
+	det := map[int]map[int]int{}
+	for q, es := range b.Adj {
+		m := map[int]int{}
+		for _, e := range es {
+			m[e.Sym] = e.To
+		}
+		det[q] = m
+	}
+	const dead = -1
+	type pair struct{ p, q int }
+	type entry struct {
+		prev int
+		sym  int
+	}
+	seen := map[pair]int{}
+	var order []pair
+	var trace []entry
+	bq := dead
+	if len(b.Starts) > 0 {
+		bq = b.Starts[0]
+	}
+	for _, s := range a.Starts {
+		pr := pair{s, bq}
+		if _, ok := seen[pr]; !ok {
+			seen[pr] = len(order)
+			order = append(order, pr)
+			trace = append(trace, entry{-1, -1})
+		}
+	}
+	rebuild := func(i int) []int {
+		var w []int
+		for i >= 0 && trace[i].sym >= 0 {
+			w = append(w, trace[i].sym)
+			i = trace[i].prev
+		}
+		for l, r := 0, len(w)-1; l < r; l, r = l+1, r-1 {
+			w[l], w[r] = w[r], w[l]
+		}
+		return w
+	}
+	for i := 0; i < len(order); i++ {
+		pr := order[i]
+		if a.Final[pr.p] && (pr.q == dead || !b.Final[pr.q]) {
+			return false, rebuild(i)
+		}
+		for _, e := range a.Adj[pr.p] {
+			nq := dead
+			if pr.q != dead {
+				if to, ok := det[pr.q][e.Sym]; ok {
+					nq = to
+				}
+			}
+			npr := pair{e.To, nq}
+			if _, ok := seen[npr]; !ok {
+				seen[npr] = len(order)
+				order = append(order, npr)
+				trace = append(trace, entry{i, e.Sym})
+			}
+		}
+	}
+	return true, nil
+}
+
+// Equivalent decides L(a) = L(b) via two containment checks.
+func Equivalent(a, b *NFA, limit int) (bool, error) {
+	ok, _, err := Contains(a, b, limit)
+	if err != nil || !ok {
+		return false, err
+	}
+	ok, _, err = Contains(b, a, limit)
+	return ok, err
+}
+
+// IsUnambiguous reports whether no word has two distinct accepting runs.
+// Two distinct accepting runs on the same word yield a reachable
+// off-diagonal pair in the self-product that can still reach a pair of
+// final states, so the test is a forward pass over the self-product of the
+// trimmed automaton followed by a backward pass from final-final pairs.
+// Duplicate edges are removed first (two syntactically identical edges do
+// not constitute two runs).
+func (a *NFA) IsUnambiguous() bool {
+	t := a.Trim()
+	type pair struct{ p, q int }
+	seen := map[pair]bool{}
+	var queue []pair
+	push := func(pr pair) {
+		if !seen[pr] {
+			seen[pr] = true
+			queue = append(queue, pr)
+		}
+	}
+	for _, s := range t.Starts {
+		for _, u := range t.Starts {
+			push(pair{s, u})
+		}
+	}
+	for i := 0; i < len(queue); i++ {
+		pr := queue[i]
+		for _, e1 := range t.Adj[pr.p] {
+			for _, e2 := range t.Adj[pr.q] {
+				if e1.Sym == e2.Sym {
+					push(pair{e1.To, e2.To})
+				}
+			}
+		}
+	}
+	// Backward: which reachable pairs can reach a (final, final) pair?
+	rev := map[pair][]pair{}
+	for pr := range seen {
+		for _, e1 := range t.Adj[pr.p] {
+			for _, e2 := range t.Adj[pr.q] {
+				if e1.Sym == e2.Sym {
+					to := pair{e1.To, e2.To}
+					if seen[to] {
+						rev[to] = append(rev[to], pr)
+					}
+				}
+			}
+		}
+	}
+	co := map[pair]bool{}
+	var stack []pair
+	for pr := range seen {
+		if t.Final[pr.p] && t.Final[pr.q] {
+			co[pr] = true
+			stack = append(stack, pr)
+		}
+	}
+	for len(stack) > 0 {
+		pr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, prev := range rev[pr] {
+			if !co[prev] {
+				co[prev] = true
+				stack = append(stack, prev)
+			}
+		}
+	}
+	for pr := range co {
+		if pr.p != pr.q {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,228 @@
+// Package blackbox implements Section 7.1: split-correctness in the
+// presence of black-box spanners with split constraints. A spanner
+// signature abstracts extractors (NER, coreference, POS, ...) whose
+// internals cannot be analyzed; a regular split constraint π ⊑ S asserts
+// that every instance of π is self-splittable by S. Theorem 7.4 gives the
+// sufficient condition implemented here: with a disjoint splitter S, a
+// connected signature, α splittable by S, and all constraints π_i ⊑ S, the
+// join α ⋈ P_1 ⋈ … ⋈ P_k is splittable by S via α_S ⋈ P_1 ⋈ … ⋈ P_k.
+// The package also provides the runtime side: executing such joins either
+// directly or segment-by-segment through an evaluation plan.
+package blackbox
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/span"
+	"repro/internal/vsa"
+)
+
+// Extractor is a black-box spanner: any function from documents to span
+// relations. Implementations may wrap machine-learned models, rule
+// engines, or — in this repository — deterministic stand-ins.
+type Extractor interface {
+	Vars() []string
+	Eval(doc string) *span.Relation
+}
+
+// Func adapts a Go function to the Extractor interface.
+type Func struct {
+	VarNames []string
+	Fn       func(doc string) *span.Relation
+}
+
+// Vars returns the extractor's variables.
+func (f Func) Vars() []string { return f.VarNames }
+
+// Eval applies the wrapped function.
+func (f Func) Eval(doc string) *span.Relation { return f.Fn(doc) }
+
+// Spanner adapts a regular spanner to the Extractor interface (useful in
+// tests, where "black boxes" must have known ground truth).
+type Spanner struct{ A *vsa.Automaton }
+
+// Vars returns the spanner's variables.
+func (s Spanner) Vars() []string { return s.A.Vars }
+
+// Eval evaluates the underlying automaton.
+func (s Spanner) Eval(doc string) *span.Relation { return s.A.Eval(doc) }
+
+// Signature is a collection of spanner symbols π_1 … π_k, each with its
+// variable set.
+type Signature struct {
+	Symbols []Symbol
+}
+
+// Symbol is one spanner symbol of a signature.
+type Symbol struct {
+	Name string
+	Vars []string
+}
+
+// Constraint is a regular split constraint π ⊑ S: every instance of the
+// named symbol is self-splittable by S.
+type Constraint struct {
+	Symbol   string
+	Splitter *core.Splitter
+}
+
+// Instance assigns an actual extractor to every symbol of a signature.
+type Instance map[string]Extractor
+
+// Connected reports whether the hypergraph formed by alphaVars and the
+// symbols' variable sets is connected — the standing assumption of
+// Section 7.1.
+func (sig *Signature) Connected(alphaVars []string) bool {
+	sets := [][]string{alphaVars}
+	for _, sym := range sig.Symbols {
+		sets = append(sets, sym.Vars)
+	}
+	if len(sets) <= 1 {
+		return true
+	}
+	merged := map[int]bool{0: true}
+	frontier := []int{0}
+	inSet := func(vars []string, v string) bool {
+		for _, w := range vars {
+			if w == v {
+				return true
+			}
+		}
+		return false
+	}
+	for len(frontier) > 0 {
+		i := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for j, other := range sets {
+			if merged[j] {
+				continue
+			}
+			for _, v := range sets[i] {
+				if inSet(other, v) {
+					merged[j] = true
+					frontier = append(frontier, j)
+					break
+				}
+			}
+		}
+	}
+	return len(merged) == len(sets)
+}
+
+// Plan is a split evaluation plan produced by Theorem 7.4: evaluate
+// AlphaS joined with the black boxes on every segment of Splitter and
+// shift the results.
+type Plan struct {
+	AlphaS   *vsa.Automaton
+	Symbols  []Symbol
+	Splitter *core.Splitter
+}
+
+// SplitCorrectByTheorem74 applies the sufficient condition of Theorem 7.4:
+// if S is disjoint, the signature (with α) is connected, every constraint
+// is π_i ⊑ S, and α is splittable by S, then α ⋈ I is splittable by S for
+// every instance I satisfying the constraints, and a Plan witnessing it is
+// returned. A false answer means the sufficient condition does not apply —
+// not that the join is unsplittable (Lemma 7.3 shows the general problem
+// is subtle); reason explains which premise failed.
+func SplitCorrectByTheorem74(alpha *vsa.Automaton, sig *Signature, constraints []Constraint, s *core.Splitter, limit int) (plan *Plan, reason string, err error) {
+	if !s.IsDisjoint() {
+		return nil, "splitter is not disjoint", nil
+	}
+	if !sig.Connected(alpha.Vars) {
+		return nil, "signature is not connected", nil
+	}
+	constrained := map[string]bool{}
+	for _, c := range constraints {
+		eq, err := vsa.Equivalent(c.Splitter.Automaton(), s.Automaton(), limit)
+		if err != nil {
+			return nil, "", err
+		}
+		if !eq {
+			return nil, fmt.Sprintf("constraint for %s uses a different splitter", c.Symbol), nil
+		}
+		constrained[c.Symbol] = true
+	}
+	var missing []string
+	for _, sym := range sig.Symbols {
+		if !constrained[sym.Name] {
+			missing = append(missing, sym.Name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return nil, fmt.Sprintf("symbols without split constraint: %v", missing), nil
+	}
+	ok, alphaS, err := core.Splittable(alpha, s, limit)
+	if err != nil {
+		return nil, "", err
+	}
+	if !ok {
+		return nil, "α is not splittable by the splitter", nil
+	}
+	return &Plan{AlphaS: alphaS, Symbols: sig.Symbols, Splitter: s}, "", nil
+}
+
+// EvalJoin evaluates α ⋈ I directly on the whole document.
+func EvalJoin(alpha *vsa.Automaton, sig *Signature, inst Instance, doc string) (*span.Relation, error) {
+	rel := alpha.Eval(doc)
+	for _, sym := range sig.Symbols {
+		ex, ok := inst[sym.Name]
+		if !ok {
+			return nil, fmt.Errorf("blackbox: no extractor bound to symbol %q", sym.Name)
+		}
+		rel = rel.Join(ex.Eval(doc))
+	}
+	return rel, nil
+}
+
+// Eval executes the split plan: α_S ⋈ I on every segment, shifted. When
+// the plan came from SplitCorrectByTheorem74 and the instance satisfies
+// the constraints, the result equals EvalJoin on every document.
+func (p *Plan) Eval(inst Instance, doc string) (*span.Relation, error) {
+	var out *span.Relation
+	for _, seg := range p.Splitter.Segments(doc) {
+		rel := p.AlphaS.Eval(seg.Text)
+		for _, sym := range p.Symbols {
+			ex, ok := inst[sym.Name]
+			if !ok {
+				return nil, fmt.Errorf("blackbox: no extractor bound to symbol %q", sym.Name)
+			}
+			rel = rel.Join(ex.Eval(seg.Text))
+		}
+		shifted := rel.ShiftAll(seg.Span)
+		if out == nil {
+			out = span.NewRelation(shifted.Vars...)
+		}
+		for _, t := range shifted.Tuples {
+			out.Add(t)
+		}
+	}
+	if out == nil {
+		out = span.NewRelation(p.AlphaS.Vars...)
+		for _, sym := range p.Symbols {
+			for _, v := range sym.Vars {
+				found := false
+				for _, w := range out.Vars {
+					if w == v {
+						found = true
+					}
+				}
+				if !found {
+					out.Vars = append(out.Vars, v)
+				}
+			}
+		}
+	}
+	out.Dedupe()
+	return out, nil
+}
+
+// VerifyConstraint checks a split constraint against a concrete regular
+// spanner (used to validate test instances): the spanner must be
+// self-splittable by the constraint's splitter.
+func VerifyConstraint(c Constraint, actual *vsa.Automaton, limit int) (bool, error) {
+	return core.SelfSplittable(actual, c.Splitter, limit)
+}

@@ -1,0 +1,215 @@
+package blackbox
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/regexformula"
+	"repro/internal/span"
+	"repro/internal/vsa"
+)
+
+func docs(sigma string, maxLen int) []string {
+	out := []string{""}
+	frontier := []string{""}
+	for l := 0; l < maxLen; l++ {
+		var next []string
+		for _, d := range frontier {
+			for i := 0; i < len(sigma); i++ {
+				next = append(next, d+string(sigma[i]))
+			}
+		}
+		out = append(out, next...)
+		frontier = next
+	}
+	return out
+}
+
+func splitterOf(t *testing.T, src string) *core.Splitter {
+	t.Helper()
+	s, err := core.NewSplitter(regexformula.MustCompile(src))
+	if err != nil {
+		t.Fatalf("%s: %v", src, err)
+	}
+	return s
+}
+
+// blockSplitter is the ';'-block splitter shared by the tests.
+const blockSplitterSrc = "(x{[^;]*})(;[^;]*)*|[^;]*(;[^;]*)*;(x{[^;]*})(;[^;]*)*"
+
+func TestConnected(t *testing.T) {
+	sig := &Signature{Symbols: []Symbol{
+		{"p1", []string{"x", "xp"}},
+		{"p2", []string{"xp", "y"}},
+	}}
+	if !sig.Connected([]string{"x", "y"}) {
+		t.Fatal("chain signature must be connected")
+	}
+	disc := &Signature{Symbols: []Symbol{
+		{"p1", []string{"u"}},
+	}}
+	if disc.Connected([]string{"x"}) {
+		t.Fatal("disconnected signature must be detected")
+	}
+}
+
+// TestTheorem74EndToEnd builds a miniature of Example 7.1: α extracts a
+// (g-block, following block) pair, the black box is a "coreference"
+// stand-in constrained to be self-splittable by blocks, and the plan-based
+// split evaluation must equal the direct join on every document.
+func TestTheorem74EndToEnd(t *testing.T) {
+	s := splitterOf(t, blockSplitterSrc)
+	// α(x): g-blocks, self-splittable by blocks.
+	alphaSrc := "(x{g[^;]*})(;[^;]*)*|[^;]*(;[^;]*)*;(x{g[^;]*})(;[^;]*)*"
+	alpha := regexformula.MustCompile(alphaSrc)
+	// Black box π(x): a "mention classifier" that actually is a regular
+	// spanner selecting all blocks, so ground truth is computable.
+	bbSpanner := regexformula.MustCompile(strings.ReplaceAll(blockSplitterSrc, "x{", "x{"))
+	sig := &Signature{Symbols: []Symbol{{"mentions", []string{"x"}}}}
+	constraint := Constraint{"mentions", s}
+	// The constraint really holds for this instance.
+	ok, err := VerifyConstraint(constraint, bbSpanner, 0)
+	if err != nil || !ok {
+		t.Fatalf("constraint must hold for the test instance: %v %v", ok, err)
+	}
+	plan, reason, err := SplitCorrectByTheorem74(alpha, sig, []Constraint{constraint}, s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan == nil {
+		t.Fatalf("Theorem 7.4 must apply, got reason %q", reason)
+	}
+	inst := Instance{"mentions": Spanner{bbSpanner}}
+	for _, d := range docs("g;", 5) {
+		direct, err := EvalJoin(alpha, sig, inst, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		split, err := plan.Eval(inst, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aligned, err := split.Project(direct.Vars)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !aligned.Equal(direct) {
+			t.Fatalf("plan and direct join differ on %q: %v vs %v", d, aligned, direct)
+		}
+	}
+}
+
+func TestTheorem74PremiseFailures(t *testing.T) {
+	s := splitterOf(t, blockSplitterSrc)
+	alpha := regexformula.MustCompile("(x{g[^;]*})(;[^;]*)*|[^;]*(;[^;]*)*;(x{g[^;]*})(;[^;]*)*")
+	sig := &Signature{Symbols: []Symbol{{"mentions", []string{"x"}}}}
+	// Missing constraint.
+	plan, reason, err := SplitCorrectByTheorem74(alpha, sig, nil, s, 0)
+	if err != nil || plan != nil || !strings.Contains(reason, "without split constraint") {
+		t.Fatalf("missing constraint must be reported, got %q %v", reason, err)
+	}
+	// Non-disjoint splitter.
+	grams := splitterOf(t, ".*x{..}.*")
+	plan, reason, err = SplitCorrectByTheorem74(alpha, sig, []Constraint{{"mentions", grams}}, grams, 0)
+	if err != nil || plan != nil || !strings.Contains(reason, "disjoint") {
+		t.Fatalf("non-disjoint splitter must be reported, got %q %v", reason, err)
+	}
+	// Disconnected signature.
+	sig2 := &Signature{Symbols: []Symbol{{"other", []string{"z"}}}}
+	plan, reason, err = SplitCorrectByTheorem74(alpha, sig2, []Constraint{{"other", s}}, s, 0)
+	if err != nil || plan != nil || !strings.Contains(reason, "connected") {
+		t.Fatalf("disconnected signature must be reported, got %q %v", reason, err)
+	}
+}
+
+// TestLemma73Counterexample reproduces Lemma 7.3: P1 = Σ*x1{a}x2{b}Σ* and
+// P2 = Σ*x2{b}x3{a}Σ* are self-splittable by S = Σ*x{aΣ|Σa}Σ*, but their
+// join violates the cover condition for S, hence is not splittable
+// (Lemma 5.3).
+func TestLemma73Counterexample(t *testing.T) {
+	p1 := regexformula.MustCompile(".*x1{a}x2{b}.*")
+	p2 := regexformula.MustCompile(".*x2{b}x3{a}.*")
+	s := splitterOf(t, ".*x{a.|.a}.*")
+	for i, p := range []*vsa.Automaton{p1, p2} {
+		ok, err := core.SelfSplittable(p, s, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("P%d must be self-splittable by S", i+1)
+		}
+	}
+	join, err := algebra.Join(p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On aba: P(aba) = {([1,2⟩,[2,3⟩,[3,4⟩)}, S(aba) = {[1,3⟩,[2,4⟩} and
+	// no split covers the joined tuple.
+	rel := join.Eval("aba")
+	if rel.Len() != 1 {
+		t.Fatalf("join on aba: %v", rel)
+	}
+	covered, err := core.CoverCondition(join, s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if covered {
+		t.Fatal("Lemma 7.3: the join must violate the cover condition")
+	}
+}
+
+// TestGenuineBlackBoxFunc runs the plan with a hand-written Go function as
+// the black box, demonstrating the interface on the Example 7.2 shape:
+// names ("n"-initial blocks) join with an α that matches blocks followed
+// by a marker block.
+func TestGenuineBlackBoxFunc(t *testing.T) {
+	s := splitterOf(t, blockSplitterSrc)
+	// α(x): blocks consisting of n's and g's that contain at least one g.
+	alpha := regexformula.MustCompile(
+		"(x{[ng]*g[ng]*})(;[^;]*)*|[^;]*(;[^;]*)*;(x{[ng]*g[ng]*})(;[^;]*)*")
+	names := Func{
+		VarNames: []string{"x"},
+		Fn: func(doc string) *span.Relation {
+			// A rule-based "NER": blocks starting with n, located by hand.
+			rel := span.NewRelation("x")
+			start := 0
+			for i := 0; i <= len(doc); i++ {
+				if i == len(doc) || doc[i] == ';' {
+					if i > start && doc[start] == 'n' {
+						rel.Add(span.Tuple{span.FromByteOffsets(start, i)})
+					}
+					start = i + 1
+				}
+			}
+			return rel
+		},
+	}
+	sig := &Signature{Symbols: []Symbol{{"names", []string{"x"}}}}
+	plan, reason, err := SplitCorrectByTheorem74(alpha, sig, []Constraint{{"names", s}}, s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan == nil {
+		t.Fatalf("plan expected, got %q", reason)
+	}
+	inst := Instance{"names": names}
+	for _, d := range []string{"ng;gg;n", "n;ng;nn", "", "ngn;g;ng"} {
+		direct, err := EvalJoin(alpha, sig, inst, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		split, err := plan.Eval(inst, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aligned, err := split.Project(direct.Vars)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !aligned.Equal(direct) {
+			t.Fatalf("plan and direct join differ on %q: %v vs %v", d, aligned, direct)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/span"
+	"repro/internal/vsa"
+)
+
+// Compose builds an automaton for the spanner P_S ∘ S of Section 3: on
+// every document, evaluate ps on each substring selected by s and shift
+// the results. This is the polynomial-time construction of Lemma C.2
+// (algebraically, π_{SVars(P_S)}((Σ*·x{P_S}·Σ*) ⋈ S)), realized directly
+// on extended automata with three phases — before the selected split,
+// inside it (a product of s and ps), and after it. The construction is
+// also Lemma 6.1 when ps is itself unary (composition of splitters).
+func Compose(ps *vsa.Automaton, s *Splitter) *vsa.Automaton {
+	if err := ps.Validate(); err != nil {
+		panic(fmt.Sprintf("core: Compose: invalid split-spanner: %v", err))
+	}
+	sa := s.auto
+	out := vsa.NewAutomaton(ps.Vars...)
+
+	// State interning: phase 1 and 3 hold a splitter state, phase 2 a
+	// (splitter, split-spanner) pair.
+	type key struct {
+		phase  int
+		qs, qp int
+	}
+	id := map[key]int{}
+	var queue []key
+	intern := func(k key) int {
+		if i, ok := id[k]; ok {
+			return i
+		}
+		var i int
+		if len(id) == 0 {
+			i = 0
+		} else {
+			i = out.AddState()
+		}
+		id[k] = i
+		queue = append(queue, k)
+		return i
+	}
+	intern(key{1, sa.Start, -1})
+	for len(queue) > 0 {
+		k := queue[0]
+		queue = queue[1:]
+		from := id[k]
+		switch k.phase {
+		case 1: // before the split
+			for _, e := range sa.States[k.qs].Edges {
+				switch splitOpKind(e.Ops) {
+				case sNone:
+					out.AddEdge(from, 0, e.Class, intern(key{1, e.To, -1}))
+				case sOpen:
+					// The split starts here; ps consumes the same byte.
+					for _, f := range ps.States[ps.Start].Edges {
+						cls := e.Class.Intersect(f.Class)
+						if cls.IsEmpty() {
+							continue
+						}
+						out.AddEdge(from, f.Ops, cls, intern(key{2, e.To, f.To}))
+					}
+				case sWrap:
+					// An empty split at this boundary; ps must accept ε.
+					for _, f0 := range ps.States[ps.Start].Finals {
+						out.AddEdge(from, f0, e.Class, intern(key{3, e.To, -1}))
+					}
+				}
+			}
+			for _, fin := range sa.States[k.qs].Finals {
+				if splitOpKind(fin) == sWrap {
+					// Empty split at the end of the document.
+					for _, f0 := range ps.States[ps.Start].Finals {
+						out.AddFinal(from, f0)
+					}
+				}
+			}
+		case 2: // inside the split
+			for _, e := range sa.States[k.qs].Edges {
+				switch splitOpKind(e.Ops) {
+				case sNone:
+					for _, f := range ps.States[k.qp].Edges {
+						cls := e.Class.Intersect(f.Class)
+						if cls.IsEmpty() {
+							continue
+						}
+						out.AddEdge(from, f.Ops, cls, intern(key{2, e.To, f.To}))
+					}
+				case sClose:
+					// The split ends at this boundary: ps must accept, and
+					// its final operations fire here; the consumed byte is
+					// the first one after the split.
+					for _, f0 := range ps.States[k.qp].Finals {
+						out.AddEdge(from, f0, e.Class, intern(key{3, e.To, -1}))
+					}
+				}
+			}
+			for _, fin := range sa.States[k.qs].Finals {
+				if splitOpKind(fin) == sClose {
+					// Split ends exactly at the end of the document.
+					for _, f0 := range ps.States[k.qp].Finals {
+						out.AddFinal(from, f0)
+					}
+				}
+			}
+		case 3: // after the split
+			for _, e := range sa.States[k.qs].Edges {
+				if splitOpKind(e.Ops) == sNone {
+					out.AddEdge(from, 0, e.Class, intern(key{3, e.To, -1}))
+				}
+			}
+			for _, fin := range sa.States[k.qs].Finals {
+				if splitOpKind(fin) == sNone {
+					out.AddFinal(from, 0)
+				}
+			}
+		}
+	}
+	out.MergeEdges()
+	return out
+}
+
+// ComposeBrute evaluates (ps ∘ s)(doc) by the definition in Section 3:
+// the union over all splits of the shifted evaluation of ps on each
+// segment. It is the executable specification against which Compose is
+// verified.
+func ComposeBrute(ps *vsa.Automaton, s *Splitter, doc string) *span.Relation {
+	out := span.NewRelation(ps.Vars...)
+	for _, sp := range s.Split(doc) {
+		seg := sp.In(doc)
+		for _, t := range ps.Eval(seg).Tuples {
+			out.Add(t.Shift(sp))
+		}
+	}
+	out.Dedupe()
+	return out
+}

@@ -1,0 +1,221 @@
+// Package corpus generates deterministic synthetic corpora standing in
+// for the datasets of the paper's Section 1 experiments: Wikipedia and
+// PubMed sentences, Reuters-style financial articles, Amazon-style food
+// reviews, and HTTP-style logs. Generation is seeded and reproducible;
+// only the statistical shape matters for the split-then-distribute
+// speedup experiments (see DESIGN.md for the substitution argument).
+package corpus
+
+import "strings"
+
+// rng is a small xorshift generator so corpora are reproducible without
+// depending on math/rand's version-specific streams.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &rng{seed}
+}
+
+func (r *rng) next() uint64 {
+	x := r.state
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	r.state = x
+	return x
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *rng) pick(words []string) string { return words[r.intn(len(words))] }
+
+var commonWords = []string{
+	"the", "of", "and", "a", "to", "in", "is", "was", "he", "for", "it",
+	"with", "as", "his", "on", "be", "at", "by", "had", "not", "are",
+	"but", "from", "or", "have", "an", "they", "which", "one", "you",
+	"were", "her", "all", "she", "there", "would", "their", "we", "him",
+	"been", "has", "when", "who", "will", "more", "no", "if", "out",
+}
+
+var wikiNouns = []string{
+	"history", "city", "river", "language", "population", "region",
+	"school", "music", "science", "village", "country", "album",
+	"station", "battle", "empire", "theory", "painter", "bridge",
+}
+
+var pubmedWords = []string{
+	"protein", "receptor", "expression", "cells", "gene", "patients",
+	"treatment", "tumor", "kinase", "pathway", "inhibitor", "clinical",
+	"dose", "serum", "plasma", "mutation", "enzyme", "binding",
+}
+
+var orgNames = []string{
+	"Acme", "Globex", "Initech", "Umbrella", "Stark", "Wayne", "Hooli",
+	"Vandelay", "Wonka", "Duff", "Cyberdyne", "Gringotts",
+}
+
+var reviewWords = []string{
+	"flavor", "taste", "price", "texture", "smell", "packaging",
+	"aftertaste", "coffee", "tea", "chocolate", "sauce", "snack",
+}
+
+// Sentence generators produce space-separated lowercase words terminated
+// by '.'; documents are concatenations of sentences. This matches what
+// the library's sentence splitter and N-gram splitter expect.
+
+func sentences(r *rng, vocab []string, minWords, maxWords, targetBytes int, inject func(r *rng, w *strings.Builder, sentenceIdx int) bool) string {
+	var b strings.Builder
+	b.Grow(targetBytes + 128)
+	idx := 0
+	for b.Len() < targetBytes {
+		if inject == nil || !inject(r, &b, idx) {
+			n := minWords + r.intn(maxWords-minWords+1)
+			for i := 0; i < n; i++ {
+				if i > 0 {
+					b.WriteByte(' ')
+				}
+				if r.intn(3) == 0 {
+					b.WriteString(r.pick(vocab))
+				} else {
+					b.WriteString(r.pick(commonWords))
+				}
+			}
+		}
+		b.WriteByte('.')
+		idx++
+	}
+	return b.String()
+}
+
+// Wikipedia returns a Wikipedia-like corpus of roughly targetBytes bytes.
+func Wikipedia(seed uint64, targetBytes int) string {
+	return sentences(newRNG(seed), wikiNouns, 5, 14, targetBytes, nil)
+}
+
+// PubMed returns a biomedical-abstract-like corpus.
+func PubMed(seed uint64, targetBytes int) string {
+	return sentences(newRNG(seed), pubmedWords, 8, 20, targetBytes, nil)
+}
+
+// ReutersArticle returns one financial-news article; roughly one sentence
+// in eight contains a payment event recognized by library.FinanceEvents.
+// Article lengths are heavy-tailed, as in real newswire: most articles
+// have a few sentences, but about one in forty is a long feature piece.
+// The skew is what makes sentence-granular scheduling pay off (the
+// paper's Spark observation): with whole-document tasks the long
+// articles straggle.
+func ReutersArticle(r *rng) string {
+	var b strings.Builder
+	n := 3 + r.intn(6)
+	switch {
+	case r.intn(700) == 0:
+		n = 1500 + r.intn(1500) // a rare very long special report
+	case r.intn(40) == 0:
+		n = 150 + r.intn(150) // an occasional feature piece
+	}
+	for i := 0; i < n; i++ {
+		if r.intn(8) == 0 {
+			b.WriteString(r.pick(orgNames))
+			b.WriteString(" paid ")
+			b.WriteString(r.pick(orgNames))
+		} else {
+			words := 5 + r.intn(10)
+			for j := 0; j < words; j++ {
+				if j > 0 {
+					b.WriteByte(' ')
+				}
+				b.WriteString(r.pick(commonWords))
+			}
+		}
+		b.WriteByte('.')
+	}
+	return b.String()
+}
+
+// Reuters returns n article documents (the pre-split collection of the
+// paper's Spark experiment).
+func Reuters(seed uint64, n int) []string {
+	r := newRNG(seed)
+	out := make([]string, n)
+	for i := range out {
+		out[i] = ReutersArticle(r)
+	}
+	return out
+}
+
+// Review returns one Amazon-style review; some sentences contain a
+// "bad <target>" pattern recognized by library.NegativeSentiment.
+// Review lengths are heavy-tailed like real review sites: about one in
+// sixty is a very long rant.
+func Review(r *rng) string {
+	var b strings.Builder
+	n := 1 + r.intn(4)
+	switch {
+	case r.intn(3000) == 0:
+		n = 2000 + r.intn(2000) // a rare epic rant
+	case r.intn(60) == 0:
+		n = 120 + r.intn(120)
+	}
+	for i := 0; i < n; i++ {
+		if r.intn(4) == 0 {
+			pre := r.intn(4)
+			for j := 0; j < pre; j++ {
+				b.WriteString(r.pick(commonWords))
+				b.WriteByte(' ')
+			}
+			b.WriteString("bad ")
+			b.WriteString(r.pick(reviewWords))
+		} else {
+			words := 4 + r.intn(8)
+			for j := 0; j < words; j++ {
+				if j > 0 {
+					b.WriteByte(' ')
+				}
+				b.WriteString(r.pick(reviewWords))
+			}
+		}
+		b.WriteByte('.')
+	}
+	return b.String()
+}
+
+// Reviews returns n review documents.
+func Reviews(seed uint64, n int) []string {
+	r := newRNG(seed)
+	out := make([]string, n)
+	for i := range out {
+		out[i] = Review(r)
+	}
+	return out
+}
+
+// HTTPLog returns a ';'-separated log of GET/POST records, each a
+// lowercase path token, e.g. "get /a/b;post /c". One record in ten is a
+// POST.
+func HTTPLog(seed uint64, records int) string {
+	r := newRNG(seed)
+	var b strings.Builder
+	for i := 0; i < records; i++ {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		if r.intn(10) == 0 {
+			b.WriteString("post /")
+		} else {
+			b.WriteString("get /")
+		}
+		segs := 1 + r.intn(3)
+		for j := 0; j < segs; j++ {
+			if j > 0 {
+				b.WriteByte('/')
+			}
+			for k := 0; k < 3+r.intn(5); k++ {
+				b.WriteByte(byte('a' + r.intn(26)))
+			}
+		}
+	}
+	return b.String()
+}

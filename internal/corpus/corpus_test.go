@@ -1,0 +1,99 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	if Wikipedia(1, 1000) != Wikipedia(1, 1000) {
+		t.Fatal("Wikipedia must be deterministic per seed")
+	}
+	if Wikipedia(1, 1000) == Wikipedia(2, 1000) {
+		t.Fatal("different seeds must differ")
+	}
+	a := Reuters(3, 10)
+	b := Reuters(3, 10)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Reuters must be deterministic per seed")
+		}
+	}
+}
+
+func TestWikipediaShape(t *testing.T) {
+	doc := Wikipedia(7, 5000)
+	if len(doc) < 5000 {
+		t.Fatalf("corpus too small: %d", len(doc))
+	}
+	sents := strings.Split(doc, ".")
+	if len(sents) < 40 {
+		t.Fatalf("too few sentences: %d", len(sents))
+	}
+	for _, s := range sents[:10] {
+		if strings.ContainsAny(s, "!?\n") {
+			t.Fatalf("unexpected separators inside sentence %q", s)
+		}
+	}
+}
+
+func TestPubMedVocabulary(t *testing.T) {
+	doc := PubMed(5, 3000)
+	found := false
+	for _, w := range pubmedWords {
+		if strings.Contains(doc, w) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("PubMed corpus should use its vocabulary")
+	}
+}
+
+func TestReutersContainsEvents(t *testing.T) {
+	arts := Reuters(11, 200)
+	events := 0
+	for _, a := range arts {
+		events += strings.Count(a, " paid ")
+		if !strings.HasSuffix(a, ".") {
+			t.Fatal("articles must end with a sentence terminator")
+		}
+	}
+	if events == 0 {
+		t.Fatal("some articles must contain payment events")
+	}
+}
+
+func TestReviewsContainNegativeSentiment(t *testing.T) {
+	revs := Reviews(13, 300)
+	hits := 0
+	for _, r := range revs {
+		hits += strings.Count(r, "bad ")
+	}
+	if hits == 0 {
+		t.Fatal("some reviews must contain negative sentiment")
+	}
+}
+
+func TestHTTPLogShape(t *testing.T) {
+	log := HTTPLog(17, 50)
+	records := strings.Split(log, ";")
+	if len(records) != 50 {
+		t.Fatalf("expected 50 records, got %d", len(records))
+	}
+	gets, posts := 0, 0
+	for _, r := range records {
+		switch {
+		case strings.HasPrefix(r, "get /"):
+			gets++
+		case strings.HasPrefix(r, "post /"):
+			posts++
+		default:
+			t.Fatalf("malformed record %q", r)
+		}
+	}
+	if gets == 0 || posts == 0 {
+		t.Fatalf("expected a mix of methods, got %d gets and %d posts", gets, posts)
+	}
+}

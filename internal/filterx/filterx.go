@@ -1,0 +1,103 @@
+// Package filterx implements Section 7.2: splitters with a regular
+// precondition (filter). A splitter with filter S[L] behaves like S on
+// documents in L and produces nothing elsewhere; the decision problems ask
+// whether some filter makes a spanner split-correct or splittable. By
+// Lemma 7.5 the minimal candidate filter is always L_P, the domain of P,
+// which reduces the "exists a filter" questions to ordinary ones
+// (Theorems 7.6 and 7.7).
+package filterx
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/span"
+	"repro/internal/vsa"
+)
+
+// FilteredSplitter is a pair S[L] of a splitter and a regular filter given
+// as a Boolean spanner.
+type FilteredSplitter struct {
+	S *core.Splitter
+	L *vsa.Automaton
+}
+
+// NewFilteredSplitter validates and wraps the pair.
+func NewFilteredSplitter(s *core.Splitter, l *vsa.Automaton) (*FilteredSplitter, error) {
+	if l.Arity() != 0 {
+		return nil, fmt.Errorf("filterx: filter must be a Boolean spanner, has %d variables", l.Arity())
+	}
+	return &FilteredSplitter{S: s, L: l}, nil
+}
+
+// Split returns S(d) if d ∈ L and nothing otherwise.
+func (f *FilteredSplitter) Split(doc string) []span.Span {
+	if !f.L.EvalBool(doc) {
+		return nil
+	}
+	return f.S.Split(doc)
+}
+
+// AsSplitter materializes S[L] as an ordinary splitter (splitters with
+// filter are no more powerful than splitters, Section 7.2).
+func (f *FilteredSplitter) AsSplitter() (*core.Splitter, error) {
+	restricted, err := algebra.Restrict(f.S.Automaton(), f.L)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewSplitter(restricted)
+}
+
+// MinimalFilter returns the language L_P of Lemma 7.5 — the documents on
+// which p produces output — as a Boolean spanner. Whenever any filter
+// works, this one does.
+func MinimalFilter(p *vsa.Automaton) *vsa.Automaton {
+	return algebra.DomainLanguage(p)
+}
+
+// SplitCorrectWithFilter decides whether some regular language L makes
+// P = P_S ∘ S[L] (Theorem 7.6). By Lemma 7.5 it suffices to test L = L_P.
+// The witness filter is returned on success.
+func SplitCorrectWithFilter(p, ps *vsa.Automaton, s *core.Splitter, limit int) (bool, *vsa.Automaton, error) {
+	lp := MinimalFilter(p)
+	fs, err := NewFilteredSplitter(s, lp)
+	if err != nil {
+		return false, nil, err
+	}
+	sPrime, err := fs.AsSplitter()
+	if err != nil {
+		return false, nil, err
+	}
+	ok, err := core.SplitCorrect(p, ps, sPrime, limit)
+	if err != nil || !ok {
+		return false, nil, err
+	}
+	return true, lp, nil
+}
+
+// SelfSplittableWithFilter decides whether P = P ∘ S[L] for some regular L
+// (the self-splittability variant of Theorem 7.6).
+func SelfSplittableWithFilter(p *vsa.Automaton, s *core.Splitter, limit int) (bool, *vsa.Automaton, error) {
+	return SplitCorrectWithFilter(p, p, s, limit)
+}
+
+// SplittableWithFilter decides whether P is splittable by S[L] for some
+// regular L (Theorem 7.7); the splitter must be disjoint, as in
+// Theorem 5.15. On success it returns the witness filter and split-spanner.
+func SplittableWithFilter(p *vsa.Automaton, s *core.Splitter, limit int) (bool, *vsa.Automaton, *vsa.Automaton, error) {
+	lp := MinimalFilter(p)
+	fs, err := NewFilteredSplitter(s, lp)
+	if err != nil {
+		return false, nil, nil, err
+	}
+	sPrime, err := fs.AsSplitter()
+	if err != nil {
+		return false, nil, nil, err
+	}
+	ok, witness, err := core.Splittable(p, sPrime, limit)
+	if err != nil || !ok {
+		return false, nil, nil, err
+	}
+	return true, lp, witness, nil
+}

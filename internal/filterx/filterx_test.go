@@ -1,0 +1,214 @@
+package filterx
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/regexformula"
+	"repro/internal/vsa"
+)
+
+func docs(sigma string, maxLen int) []string {
+	out := []string{""}
+	frontier := []string{""}
+	for l := 0; l < maxLen; l++ {
+		var next []string
+		for _, d := range frontier {
+			for i := 0; i < len(sigma); i++ {
+				next = append(next, d+string(sigma[i]))
+			}
+		}
+		out = append(out, next...)
+		frontier = next
+	}
+	return out
+}
+
+func splitterOf(t *testing.T, src string) *core.Splitter {
+	t.Helper()
+	s, err := core.NewSplitter(regexformula.MustCompile(src))
+	if err != nil {
+		t.Fatalf("%s: %v", src, err)
+	}
+	return s
+}
+
+func TestFilteredSplitterSemantics(t *testing.T) {
+	s := splitterOf(t, ".*x{.}.*")
+	l := regexformula.MustCompile("a.*")
+	fs, err := NewFilteredSplitter(s, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Split("ab"); len(got) != 2 {
+		t.Fatalf("S[L](ab) = %v, want 2 unit spans", got)
+	}
+	if got := fs.Split("ba"); got != nil {
+		t.Fatalf("S[L](ba) = %v, want nothing", got)
+	}
+	// Materialized splitter agrees everywhere (S[L] is an ordinary
+	// splitter, Section 7.2).
+	mat, err := fs.AsSplitter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs("ab", 5) {
+		a := fs.Split(d)
+		b := mat.Split(d)
+		if len(a) != len(b) {
+			t.Fatalf("materialization differs on %q: %v vs %v", d, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("materialization differs on %q", d)
+			}
+		}
+	}
+	if _, err := NewFilteredSplitter(s, regexformula.MustCompile("x{a}")); err == nil {
+		t.Fatal("non-Boolean filter must be rejected")
+	}
+}
+
+func TestMinimalFilterLemma75(t *testing.T) {
+	// P checks a format precondition ("document starts with a") before
+	// extracting; with the plain unit splitter P is not split-correct, but
+	// it becomes so under the minimal filter L_P.
+	p := regexformula.MustCompile("a[ab]*;.*y{b}.*|.*y{b}.*;a[ab]*")
+	lp := MinimalFilter(p)
+	for _, d := range docs("ab;", 4) {
+		if lp.EvalBool(d) != (p.Eval(d).Len() > 0) {
+			t.Fatalf("L_P wrong on %q", d)
+		}
+	}
+}
+
+func TestSplitCorrectWithFilter(t *testing.T) {
+	// P extracts single b's but only from documents that start with a —
+	// a regular precondition in the sense of Section 7.2.
+	p := regexformula.MustCompile("a(.*y{b}.*)|(y{b}).*")
+	// Actually use a simpler shape: P defined on documents starting with
+	// a only.
+	p = regexformula.MustCompile("a.*y{b}.*|a(y{b}).*")
+	ps := regexformula.MustCompile("y{b}")
+	s := splitterOf(t, ".*x{.}.*")
+	// Without a filter, split-correctness fails: on "bb" P is empty but
+	// PS ∘ S extracts both b's.
+	ok, err := core.SplitCorrect(p, ps, s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("premise: P must not be split-correct without a filter")
+	}
+	ok, filter, err := SplitCorrectWithFilter(p, ps, s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("a filter must exist (L_P works)")
+	}
+	// Verify the returned filter by brute force: P = PS ∘ S[filter].
+	fs, err := NewFilteredSplitter(s, filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs("ab", 5) {
+		want := p.Eval(d)
+		got := want.Len() == 0
+		var count int
+		for _, sp := range fs.Split(d) {
+			for _, tp := range ps.Eval(sp.In(d)).Tuples {
+				if !want.Has(tp.Shift(sp)) {
+					t.Fatalf("S[L] produces extra tuple on %q", d)
+				}
+				count++
+			}
+		}
+		_ = got
+		if count < want.Len() {
+			t.Fatalf("S[L] misses tuples on %q", d)
+		}
+	}
+}
+
+func TestSplitCorrectWithFilterNegative(t *testing.T) {
+	// No filter can fix a genuine boundary crossing: 2-byte spans with a
+	// unit splitter.
+	p := regexformula.MustCompile(".*y{ab}.*")
+	ps := regexformula.MustCompile("y{ab}")
+	s := splitterOf(t, ".*x{.}.*")
+	ok, _, err := SplitCorrectWithFilter(p, ps, s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("no filter can repair a span that crosses split boundaries")
+	}
+}
+
+func TestSelfSplittableWithFilter(t *testing.T) {
+	// P extracts unit b-spans on documents that contain no 'c' (a format
+	// check); the filter removes the offending documents.
+	p := regexformula.MustCompile("[ab]*y{b}[ab]*")
+	s := splitterOf(t, ".*x{.}.*")
+	ok, err := core.SelfSplittable(p, s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("premise: P must not be self-splittable without a filter (c-documents)")
+	}
+	ok, filter, err := SelfSplittableWithFilter(p, s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("P must be self-splittable under its domain filter")
+	}
+	if filter.EvalBool("acb") {
+		t.Fatal("filter must exclude documents with c")
+	}
+	if !filter.EvalBool("ab") {
+		t.Fatal("filter must keep pure ab documents with a b")
+	}
+}
+
+func TestSplittableWithFilter(t *testing.T) {
+	p := regexformula.MustCompile("[ab]*y{b}[ab]*")
+	s := splitterOf(t, ".*x{.}.*")
+	ok, filter, witness, err := SplittableWithFilter(p, s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("P must be splittable under a filter")
+	}
+	// Verify end to end: P = witness ∘ S[filter] by brute force.
+	fs, err := NewFilteredSplitter(s, filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs("abc", 4) {
+		want := p.Eval(d)
+		gotRel := want.Len() == 0
+		_ = gotRel
+		count := 0
+		for _, sp := range fs.Split(d) {
+			rel := witness.Eval(sp.In(d))
+			aligned, err := rel.Project(want.Vars)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tp := range aligned.Tuples {
+				if !want.Has(tp.Shift(sp)) {
+					t.Fatalf("witness produces extra tuple on %q", d)
+				}
+				count++
+			}
+		}
+		if count < want.Len() {
+			t.Fatalf("witness misses tuples on %q (%d < %d)", d, count, want.Len())
+		}
+	}
+	var _ *vsa.Automaton = witness
+}

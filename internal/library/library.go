@@ -1,0 +1,174 @@
+// Package library provides ready-made splitters and extractors for the
+// kinds of workloads the paper's introduction motivates: sentence and
+// paragraph splitters, token and N-gram splitters, HTTP-log request
+// splitters, and extractors for e-mail-like tokens, phone-like tokens,
+// capitalized names, financial-transaction sentences and negative
+// sentiment. All are regular spanners built from regex formulas, plus
+// fast hand-coded scanners for pre-splitting large corpora (systems
+// materialize splitters with cheap tokenizers; the scanners are verified
+// against their automaton counterparts in tests).
+package library
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/regexformula"
+	"repro/internal/span"
+	"repro/internal/vsa"
+)
+
+// Char classes shared by the definitions below. Sentences end at '.', '!',
+// '?' or a newline (so sentence splitting factors through paragraph
+// splitting, Section 6); paragraphs are separated by '\n'; words by ' '.
+const (
+	sentenceEnd = "[.!?\\n]"
+	notSentEnd  = "[^.!?\\n]"
+	notNL       = `[^\n]`
+	notSpace    = `[^ \n]`
+)
+
+func mustSplitter(src string) *core.Splitter {
+	s, err := core.NewSplitter(regexformula.MustCompile(src))
+	if err != nil {
+		panic(fmt.Sprintf("library: %v", err))
+	}
+	return s
+}
+
+// Sentences returns the sentence splitter: maximal runs of
+// non-terminator bytes. The terminator itself is not part of the
+// sentence, mirroring sentence boundary detection. It is disjoint.
+func Sentences() *core.Splitter {
+	w := "(x{" + notSentEnd + "*})"
+	return mustSplitter(w + "(" + sentenceEnd + notSentEnd + "*)*|" +
+		notSentEnd + "*(" + sentenceEnd + notSentEnd + "*)*" + sentenceEnd + w + "(" + sentenceEnd + notSentEnd + "*)*")
+}
+
+// Paragraphs returns the newline-separated paragraph splitter (disjoint).
+func Paragraphs() *core.Splitter {
+	w := "(x{" + notNL + "*})"
+	return mustSplitter(w + `(\n` + notNL + `*)*|` + notNL + `*(\n` + notNL + `*)*\n` + w + `(\n` + notNL + `*)*`)
+}
+
+// Tokens returns the splitter selecting every maximal run of non-space
+// bytes (disjoint).
+func Tokens() *core.Splitter {
+	// A token is a maximal nonempty run of non-space bytes: preceded and
+	// followed by a space or the document edge.
+	sp := `[ \n]`
+	tok := "(x{" + notSpace + "+})"
+	return mustSplitter(
+		tok + "(" + sp + ".*)?" + // token at the start
+			"|.*" + sp + tok + "(" + sp + ".*)?") // token after a space
+}
+
+// NGrams returns the splitter selecting every window of n consecutive
+// space-separated words (including the separating spaces). For n > 1 the
+// splitter is not disjoint, as the paper notes.
+func NGrams(n int) *core.Splitter {
+	if n < 1 {
+		panic("library: NGrams requires n ≥ 1")
+	}
+	word := notSpace + "+"
+	var inner strings.Builder
+	inner.WriteString(word)
+	for i := 1; i < n; i++ {
+		inner.WriteString(" " + word)
+	}
+	w := "(x{" + inner.String() + "})"
+	boundary := `( .*)?`
+	return mustSplitter(w + boundary + "|.* " + w + boundary)
+}
+
+// HTTPRequests returns the splitter for ';'-separated log records, a
+// miniature of splitting a log into HTTP messages (disjoint).
+func HTTPRequests() *core.Splitter {
+	w := "(x{[^;]*})"
+	return mustSplitter(w + "(;[^;]*)*|[^;]*(;[^;]*)*;" + w + "(;[^;]*)*")
+}
+
+// Emails returns an extractor for e-mail-like tokens (word@word).
+func Emails() *vsa.Automaton {
+	word := `[a-z0-9]+`
+	return regexformula.MustCompile(`(.*[^a-z0-9])?(y{` + word + `@` + word + `})([^a-z0-9].*)?`)
+}
+
+// Phones returns an extractor for phone-like tokens (ddd-dddd).
+func Phones() *vsa.Automaton {
+	return regexformula.MustCompile(`(.*[^0-9])?(y{\d\d\d-\d\d\d\d})([^0-9\-].*)?`)
+}
+
+// Names returns an extractor for capitalized words (a NER stand-in).
+func Names() *vsa.Automaton {
+	return regexformula.MustCompile(`(.*[ .!?\n])?(y{[A-Z][a-z]+})(([^a-z].*)?|)`)
+}
+
+// FinanceEvents returns the Reuters-style event extractor of Section 1:
+// within a sentence, an organization (capitalized word) paying another,
+// e.g. "Acme paid Globex". It binds the payer and payee.
+func FinanceEvents() *vsa.Automaton {
+	org := `[A-Z][a-z]+`
+	return regexformula.MustCompile(
+		`(.*[ .!?\n])?(payer{` + org + `}) paid (payee{` + org + `})(([^a-z].*)?|)`)
+}
+
+// NegativeSentiment returns the Amazon-review-style extractor of Section
+// 1: the target word following "bad" within a sentence.
+func NegativeSentiment() *vsa.Automaton {
+	word := `[a-z]+`
+	return regexformula.MustCompile(`(.*[ .!?\n])?bad (y{` + word + `})(([^a-z].*)?|)`)
+}
+
+// FastSentenceSplit is the hand-coded counterpart of Sentences, used to
+// pre-split large corpora cheaply. Verified equivalent in tests.
+func FastSentenceSplit(doc string) []span.Span {
+	var out []span.Span
+	start := 0
+	for i := 0; i <= len(doc); i++ {
+		if i == len(doc) || doc[i] == '.' || doc[i] == '!' || doc[i] == '?' || doc[i] == '\n' {
+			out = append(out, span.FromByteOffsets(start, i))
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// FastNGramSplit is the hand-coded counterpart of NGrams. Verified
+// equivalent in tests.
+func FastNGramSplit(doc string, n int) []span.Span {
+	type word struct{ lo, hi int }
+	var words []word
+	inWord := false
+	lo := 0
+	for i := 0; i <= len(doc); i++ {
+		isSpace := i == len(doc) || doc[i] == ' ' || doc[i] == '\n'
+		if !isSpace && !inWord {
+			inWord = true
+			lo = i
+		}
+		if isSpace && inWord {
+			inWord = false
+			words = append(words, word{lo, i})
+		}
+	}
+	var out []span.Span
+	for i := 0; i+n <= len(words); i++ {
+		out = append(out, span.FromByteOffsets(words[i].lo, words[i+n-1].hi))
+	}
+	return out
+}
+
+// FastBlockSplit is the hand-coded counterpart of HTTPRequests.
+func FastBlockSplit(doc string) []span.Span {
+	var out []span.Span
+	start := 0
+	for i := 0; i <= len(doc); i++ {
+		if i == len(doc) || doc[i] == ';' {
+			out = append(out, span.FromByteOffsets(start, i))
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package library
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/span"
+	"repro/internal/vsa"
+)
+
+func TestSentencesSplitter(t *testing.T) {
+	s := Sentences()
+	doc := "ab.cd!e"
+	got := s.Split(doc)
+	want := []span.Span{span.New(1, 3), span.New(4, 6), span.New(7, 8)}
+	if len(got) != len(want) {
+		t.Fatalf("Split = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Split = %v, want %v", got, want)
+		}
+	}
+	if !s.IsDisjoint() {
+		t.Fatal("sentence splitter must be disjoint")
+	}
+}
+
+func TestFastSentenceSplitAgreesWithAutomaton(t *testing.T) {
+	s := Sentences()
+	for _, doc := range []string{"", "a", "a.b", "ab.cd!e?", "..", "x.y.z"} {
+		a := s.Split(doc)
+		b := FastSentenceSplit(doc)
+		if len(a) != len(b) {
+			t.Fatalf("on %q: automaton %v vs scanner %v", doc, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("on %q: automaton %v vs scanner %v", doc, a, b)
+			}
+		}
+	}
+	// And on a realistic corpus sample.
+	doc := corpus.Wikipedia(7, 400)
+	a := s.Split(doc)
+	b := FastSentenceSplit(doc)
+	if len(a) != len(b) {
+		t.Fatalf("corpus: %d vs %d sentences", len(a), len(b))
+	}
+}
+
+func TestParagraphsAndTokens(t *testing.T) {
+	p := Paragraphs()
+	got := p.Split("ab\ncd")
+	if len(got) != 2 || got[0] != span.New(1, 3) || got[1] != span.New(4, 6) {
+		t.Fatalf("Paragraphs = %v", got)
+	}
+	if !p.IsDisjoint() {
+		t.Fatal("paragraph splitter must be disjoint")
+	}
+	tok := Tokens()
+	got = tok.Split("ab c  d")
+	want := []span.Span{span.New(1, 3), span.New(4, 5), span.New(7, 8)}
+	if len(got) != len(want) {
+		t.Fatalf("Tokens = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Tokens = %v, want %v", got, want)
+		}
+	}
+	if !tok.IsDisjoint() {
+		t.Fatal("token splitter must be disjoint")
+	}
+}
+
+func TestNGrams(t *testing.T) {
+	for n := 1; n <= 3; n++ {
+		s := NGrams(n)
+		doc := "aa b ccc dd"
+		got := s.Split(doc)
+		want := FastNGramSplit(doc, n)
+		if len(got) != len(want) {
+			t.Fatalf("N=%d: automaton %v vs scanner %v", n, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("N=%d: automaton %v vs scanner %v", n, got, want)
+			}
+		}
+		if n == 1 && !s.IsDisjoint() {
+			t.Fatal("1-grams must be disjoint")
+		}
+		if n > 1 && s.IsDisjoint() {
+			t.Fatalf("%d-grams must not be disjoint", n)
+		}
+	}
+}
+
+func TestHTTPRequestsSplitter(t *testing.T) {
+	s := HTTPRequests()
+	doc := "get /a;post /b;get /c"
+	got := s.Split(doc)
+	if len(got) != 3 {
+		t.Fatalf("HTTPRequests = %v", got)
+	}
+	fast := FastBlockSplit(doc)
+	for i := range got {
+		if got[i] != fast[i] {
+			t.Fatalf("scanner disagrees: %v vs %v", got, fast)
+		}
+	}
+	if !s.IsDisjoint() {
+		t.Fatal("request splitter must be disjoint")
+	}
+}
+
+func TestExtractors(t *testing.T) {
+	emails := Emails()
+	rel := emails.Eval("write to bob@example now")
+	if rel.Len() != 1 || rel.Tuples[0][0].In("write to bob@example now") != "bob@example" {
+		t.Fatalf("Emails = %v", rel)
+	}
+	phones := Phones()
+	rel = phones.Eval("call 555-1234 now")
+	if rel.Len() != 1 || rel.Tuples[0][0].In("call 555-1234 now") != "555-1234" {
+		t.Fatalf("Phones = %v", rel)
+	}
+	names := Names()
+	rel = names.Eval("so Alice met Bob")
+	if rel.Len() != 2 {
+		t.Fatalf("Names = %v", rel)
+	}
+	fin := FinanceEvents()
+	doc := "yesterday Acme paid Globex twice"
+	rel = fin.Eval(doc)
+	if rel.Len() != 1 {
+		t.Fatalf("FinanceEvents = %v", rel)
+	}
+	payer, _ := rel.Project([]string{"payer"})
+	if payer.Tuples[0][0].In(doc) != "Acme" {
+		t.Fatalf("payer = %v", payer)
+	}
+	neg := NegativeSentiment()
+	doc = "really bad coffee today"
+	rel = neg.Eval(doc)
+	if rel.Len() != 1 || rel.Tuples[0][0].In(doc) != "coffee" {
+		t.Fatalf("NegativeSentiment = %v", rel)
+	}
+}
+
+// TestExtractorsSelfSplittableBySentences verifies the library's central
+// promise (the paper's motivation): the sentence-local extractors are
+// provably self-splittable by the sentence splitter, so split-parallel
+// evaluation is safe.
+func TestExtractorsSelfSplittableBySentences(t *testing.T) {
+	s := Sentences()
+	for name, p := range map[string]*vsa.Automaton{
+		"finance":  FinanceEvents(),
+		"negative": NegativeSentiment(),
+		"names":    Names(),
+	} {
+		ok, err := core.SelfSplittable(p, s, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !ok {
+			t.Fatalf("%s extractor must be self-splittable by sentences", name)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+// Package parallel implements the split-then-distribute evaluation that
+// motivates the paper (Section 1): once a spanner is known to be
+// split-correct for a splitter, it can be evaluated on the splitter's
+// segments in parallel (or the segments can be scheduled as many small
+// tasks), and the shifted union of the results equals the direct
+// evaluation. The engine is a fixed worker pool over a segment channel,
+// in the style of Effective Go's parallelization idiom.
+package parallel
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/span"
+	"repro/internal/vsa"
+)
+
+// Sequential evaluates p directly on the document.
+func Sequential(p *vsa.Automaton, doc string) *span.Relation {
+	return p.Eval(doc)
+}
+
+// Segment is a unit of split work: a span of the original document (or of
+// the virtual concatenation of a collection) and its text.
+type Segment struct {
+	Span span.Span
+	Text string
+}
+
+// SegmentsOf adapts pre-computed spans of doc into work units.
+func SegmentsOf(doc string, spans []span.Span) []Segment {
+	out := make([]Segment, len(spans))
+	for i, sp := range spans {
+		out[i] = Segment{sp, sp.In(doc)}
+	}
+	return out
+}
+
+// SplitEval evaluates ps on every segment using the given number of
+// workers and returns the shifted, deduplicated union — the spanner
+// (P_S ∘ S)(d) when the segments come from S. workers ≤ 0 means
+// runtime.GOMAXPROCS(0).
+func SplitEval(ps *vsa.Automaton, segments []Segment, workers int) *span.Relation {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	jobs := make(chan Segment, workers)
+	results := make(chan *span.Relation, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seg := range jobs {
+				results <- ps.Eval(seg.Text).ShiftAll(seg.Span)
+			}
+		}()
+	}
+	go func() {
+		for _, seg := range segments {
+			jobs <- seg
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+	out := span.NewRelation(ps.Vars...)
+	for rel := range results {
+		out.Tuples = append(out.Tuples, rel.Tuples...)
+	}
+	out.Dedupe()
+	return out
+}
+
+// CollectionEval evaluates p on every document of a pre-split collection
+// (the Spark scenario of Section 1) with the given number of workers and
+// returns one relation per document, in order.
+func CollectionEval(p *vsa.Automaton, docsIn []string, workers int) []*span.Relation {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]*span.Relation, len(docsIn))
+	jobs := make(chan int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = p.Eval(docsIn[i])
+			}
+		}()
+	}
+	for i := range docsIn {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// CollectionEvalSplit evaluates a split-correct plan over a collection:
+// each document is pre-split with splitFn and the segments of all
+// documents form the task pool — the paper's observation that splitting
+// helps even when the input is already a collection, by giving the
+// scheduler many small tasks. Results are per-document relations.
+func CollectionEvalSplit(ps *vsa.Automaton, docsIn []string, splitFn func(string) []span.Span, workers int) []*span.Relation {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type task struct {
+		doc int
+		seg Segment
+	}
+	var tasks []task
+	for i, d := range docsIn {
+		for _, sp := range splitFn(d) {
+			tasks = append(tasks, task{i, Segment{sp, sp.In(d)}})
+		}
+	}
+	type result struct {
+		doc int
+		rel *span.Relation
+	}
+	jobs := make(chan task, workers)
+	results := make(chan result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range jobs {
+				results <- result{t.doc, ps.Eval(t.seg.Text).ShiftAll(t.seg.Span)}
+			}
+		}()
+	}
+	go func() {
+		for _, t := range tasks {
+			jobs <- t
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+	out := make([]*span.Relation, len(docsIn))
+	for i := range out {
+		out[i] = span.NewRelation(ps.Vars...)
+	}
+	for r := range results {
+		out[r.doc].Tuples = append(out[r.doc].Tuples, r.rel.Tuples...)
+	}
+	for _, rel := range out {
+		rel.Dedupe()
+	}
+	return out
+}
+
+// Measurement is one timed run of an experiment configuration.
+type Measurement struct {
+	Name       string
+	Sequential time.Duration
+	Split      time.Duration
+	Speedup    float64
+	Tuples     int
+}
+
+// Measure times sequential evaluation of p against split evaluation of ps
+// over the segments, checks that the outputs agree, and reports the
+// speedup. The comparison is the experiment of Section 1.
+func Measure(name string, p, ps *vsa.Automaton, doc string, segments []Segment, workers int) Measurement {
+	t0 := time.Now()
+	seq := Sequential(p, doc)
+	seqDur := time.Since(t0)
+	t1 := time.Now()
+	par := SplitEval(ps, segments, workers)
+	parDur := time.Since(t1)
+	seq.Dedupe()
+	if !seq.Equal(par) {
+		panic("parallel: split evaluation disagrees with sequential evaluation; the spanner is not split-correct for this splitter")
+	}
+	return Measurement{
+		Name:       name,
+		Sequential: seqDur,
+		Split:      parDur,
+		Speedup:    float64(seqDur) / float64(parDur),
+		Tuples:     seq.Len(),
+	}
+}
+
+// MeasureCollection times whole-document scheduling against
+// split-segment scheduling on a document collection with the same worker
+// count, mirroring the paper's Spark experiments (Reuters, Amazon).
+func MeasureCollection(name string, p, ps *vsa.Automaton, docsIn []string, splitFn func(string) []span.Span, workers int) Measurement {
+	t0 := time.Now()
+	whole := CollectionEval(p, docsIn, workers)
+	wholeDur := time.Since(t0)
+	t1 := time.Now()
+	split := CollectionEvalSplit(ps, docsIn, splitFn, workers)
+	splitDur := time.Since(t1)
+	tuples := 0
+	for i := range whole {
+		whole[i].Dedupe()
+		aligned, err := split[i].Project(whole[i].Vars)
+		if err != nil {
+			panic(err)
+		}
+		if !aligned.Equal(whole[i]) {
+			panic("parallel: split collection evaluation disagrees with direct evaluation")
+		}
+		tuples += whole[i].Len()
+	}
+	return Measurement{
+		Name:       name,
+		Sequential: wholeDur,
+		Split:      splitDur,
+		Speedup:    float64(wholeDur) / float64(splitDur),
+		Tuples:     tuples,
+	}
+}
+
+// SortSpans is a small helper for tests: sorts spans in document order.
+func SortSpans(spans []span.Span) {
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Compare(spans[j]) < 0 })
+}

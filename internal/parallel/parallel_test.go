@@ -1,0 +1,92 @@
+package parallel
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/library"
+	"repro/internal/regexformula"
+)
+
+func TestSplitEvalEqualsSequential(t *testing.T) {
+	// The negative-sentiment extractor is self-splittable by sentences
+	// (proved in the library tests); split evaluation must therefore agree
+	// with direct evaluation.
+	p := library.NegativeSentiment()
+	doc := corpus.Reviews(21, 40)[0] + corpus.Reviews(22, 40)[1]
+	segs := SegmentsOf(doc, library.FastSentenceSplit(doc))
+	for _, workers := range []int{1, 2, 5} {
+		par := SplitEval(p, segs, workers)
+		seq := Sequential(p, doc)
+		seq.Dedupe()
+		if !par.Equal(seq) {
+			t.Fatalf("workers=%d: split evaluation differs", workers)
+		}
+	}
+}
+
+func TestSplitEvalCatchesNonSplitCorrectness(t *testing.T) {
+	// Splitting a 2-byte-span extractor by unit tokens is not
+	// split-correct; Measure must detect the mismatch and panic.
+	p := regexformula.MustCompile(".*y{ab}.*")
+	s, err := core.NewSplitter(regexformula.MustCompile(".*x{.}.*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := "abab"
+	segs := SegmentsOf(doc, s.Split(doc))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Measure must panic when the outputs disagree")
+		}
+	}()
+	Measure("bad", p, p, doc, segs, 2)
+}
+
+func TestMeasureReportsAgreeingRun(t *testing.T) {
+	p := library.NegativeSentiment()
+	doc := corpus.Wikipedia(3, 2000) + "very bad coffee."
+	segs := SegmentsOf(doc, library.FastSentenceSplit(doc))
+	m := Measure("wiki", p, p, doc, segs, 2)
+	if m.Tuples == 0 {
+		t.Fatal("expected at least one extraction")
+	}
+	if m.Sequential <= 0 || m.Split <= 0 || m.Speedup <= 0 {
+		t.Fatalf("implausible measurement: %+v", m)
+	}
+}
+
+func TestCollectionEval(t *testing.T) {
+	p := library.FinanceEvents()
+	docsIn := corpus.Reuters(31, 25)
+	direct := CollectionEval(p, docsIn, 3)
+	split := CollectionEvalSplit(p, docsIn, library.FastSentenceSplit, 3)
+	if len(direct) != len(split) {
+		t.Fatal("result count mismatch")
+	}
+	total := 0
+	for i := range direct {
+		direct[i].Dedupe()
+		aligned, err := split[i].Project(direct[i].Vars)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !aligned.Equal(direct[i]) {
+			t.Fatalf("document %d differs: %v vs %v", i, aligned, direct[i])
+		}
+		total += direct[i].Len()
+	}
+	if total == 0 {
+		t.Fatal("expected some finance events in the corpus")
+	}
+}
+
+func TestMeasureCollection(t *testing.T) {
+	p := library.NegativeSentiment()
+	docsIn := corpus.Reviews(41, 60)
+	m := MeasureCollection("amazon", p, p, docsIn, library.FastSentenceSplit, 3)
+	if m.Tuples == 0 {
+		t.Fatal("expected some sentiment extractions")
+	}
+}

@@ -1,0 +1,92 @@
+// Package reason implements the query-planning problems of Section 6:
+// composition of splitters (Lemma 6.1), commutativity of two splitters
+// with respect to a regular context (Theorem 6.2), subsumption
+// (Theorem 6.3), and the transitivity properties of splittability
+// (Observation 6.4 and Lemma 6.5).
+package reason
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/vsa"
+)
+
+// ComposeSplitters builds a splitter for S1 ∘ S2 — apply S2 to the
+// document and S1 to every segment, shifting the results (Lemma 6.1). The
+// construction is Compose specialized to a unary split-spanner and is
+// polynomial.
+func ComposeSplitters(s1, s2 *core.Splitter) (*core.Splitter, error) {
+	return core.NewSplitter(core.Compose(s1.Automaton(), s2))
+}
+
+// Commute decides whether S1 and S2 commute with respect to the regular
+// context R (Theorem 6.2): (S1 ∘ S2)(d) = (S2 ∘ S1)(d) for every d ∈ R.
+// R is a Boolean spanner; pass nil for R = Σ*. The equivalence test is
+// PSPACE in the worst case and guarded by limit.
+func Commute(s1, s2 *core.Splitter, r *vsa.Automaton, limit int) (bool, error) {
+	a12, err := ComposeSplitters(s1, s2)
+	if err != nil {
+		return false, err
+	}
+	a21, err := ComposeSplitters(s2, s1)
+	if err != nil {
+		return false, err
+	}
+	left, right := a12.Automaton(), a21.Automaton()
+	// Align the composed splitters' variables.
+	right = right.Remap(left.Vars)
+	if r != nil {
+		if left, err = algebra.Restrict(left, r); err != nil {
+			return false, err
+		}
+		if right, err = algebra.Restrict(right, r); err != nil {
+			return false, err
+		}
+	}
+	return vsa.Equivalent(left, right, limit)
+}
+
+// Subsumes decides whether s subsumes sPrime with respect to R
+// (Theorem 6.3): S(d) = (S' ∘ S)(d) for all d ∈ R. Pass nil for R = Σ*.
+func Subsumes(s, sPrime *core.Splitter, r *vsa.Automaton, limit int) (bool, error) {
+	comp, err := ComposeSplitters(sPrime, s)
+	if err != nil {
+		return false, err
+	}
+	left := s.Automaton()
+	right := comp.Automaton().Remap(left.Vars)
+	if r != nil {
+		if left, err = algebra.Restrict(left, r); err != nil {
+			return false, err
+		}
+		if right, err = algebra.Restrict(right, r); err != nil {
+			return false, err
+		}
+	}
+	return vsa.Equivalent(left, right, limit)
+}
+
+// TransferSelfSplittability implements Lemma 6.5: if P = P ∘ S1 and
+// S1 = S1 ∘ S2, then P = P ∘ S2. It verifies both premises and returns an
+// error when one fails — Observation 6.4 shows the corresponding
+// implication is false for split-correctness via a general P_S, so no
+// such helper exists for that case.
+func TransferSelfSplittability(p *vsa.Automaton, s1, s2 *core.Splitter, limit int) (bool, error) {
+	ok, err := core.SelfSplittable(p, s1, limit)
+	if err != nil {
+		return false, err
+	}
+	if !ok {
+		return false, fmt.Errorf("reason: premise failed: P is not self-splittable by S1")
+	}
+	ok, err = Subsumes(s1, s2, nil, limit)
+	if err != nil {
+		return false, err
+	}
+	if !ok {
+		return false, fmt.Errorf("reason: premise failed: S1 ≠ S1 ∘ S2")
+	}
+	return true, nil
+}

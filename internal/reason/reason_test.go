@@ -1,0 +1,208 @@
+package reason
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/regexformula"
+	"repro/internal/span"
+)
+
+func docs(sigma string, maxLen int) []string {
+	out := []string{""}
+	frontier := []string{""}
+	for l := 0; l < maxLen; l++ {
+		var next []string
+		for _, d := range frontier {
+			for i := 0; i < len(sigma); i++ {
+				next = append(next, d+string(sigma[i]))
+			}
+		}
+		out = append(out, next...)
+		frontier = next
+	}
+	return out
+}
+
+func splitterOf(t *testing.T, src string) *core.Splitter {
+	t.Helper()
+	s, err := core.NewSplitter(regexformula.MustCompile(src))
+	if err != nil {
+		t.Fatalf("%s: %v", src, err)
+	}
+	return s
+}
+
+// TestComposeSplittersLemma61 checks the splitter composition against its
+// definition: pages (';'-blocks) then sub-blocks (','-separated) equals
+// splitting each page by commas.
+func TestComposeSplittersLemma61(t *testing.T) {
+	pages := splitterOf(t, "(x{[^;]*})(;[^;]*)*|[^;]*(;[^;]*)*;(x{[^;]*})(;[^;]*)*")
+	paras := splitterOf(t, "(x{[^;,]*})([;,][^;,]*)*|[^;,]*([;,][^;,]*)*[;,](x{[^;,]*})([;,][^;,]*)*")
+	comp, err := ComposeSplitters(paras, pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs("a;,", 5) {
+		want := span.NewRelation(paras.Var())
+		for _, pg := range pages.Split(d) {
+			seg := pg.In(d)
+			for _, sub := range paras.Split(seg) {
+				want.Add(span.Tuple{sub.Shift(pg)})
+			}
+		}
+		got := comp.Automaton().Eval(d)
+		aligned, err := got.Project(want.Vars)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !aligned.Equal(want) {
+			t.Fatalf("composition wrong on %q: got %v, want %v", d, aligned, want)
+		}
+	}
+}
+
+// TestCommuteTheorem62 uses the construction from Theorem 6.2's hardness
+// proof: over Σ = Σ0 ∪ {#} with S1 = #x{E'} + x{#E} and S2 = x{#E'} +
+// #x{E}, the splitters commute iff L(E) = L(E') — here E' = a* so the
+// test is universality of E.
+func TestCommuteTheorem62(t *testing.T) {
+	s1 := func(e string) *core.Splitter {
+		return splitterOf(t, "#(x{a*})|x{#("+e+")}")
+	}
+	s2 := func(e string) *core.Splitter {
+		return splitterOf(t, "x{#a*}|#(x{("+e+")})")
+	}
+	// E = a*: universal, so the splitters commute.
+	ok, err := Commute(s1("a*"), s2("a*"), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("S1 and S2 must commute when E is universal")
+	}
+	// E = aa*: not universal (misses ε), so they must not commute.
+	ok, err = Commute(s1("aa*"), s2("aa*"), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("S1 and S2 must not commute when E misses ε")
+	}
+}
+
+// TestCommuteWithContext restricts the failing pair of Theorem 6.2 to a
+// context R on which the difference disappears.
+func TestCommuteWithContext(t *testing.T) {
+	s1 := splitterOf(t, "#(x{a*})|x{#(aa*)}")
+	s2 := splitterOf(t, "x{#a*}|#(x{aa*})")
+	// On documents with at least one a after #, E = aa* behaves like a*.
+	r := regexformula.MustCompile("#aa*")
+	ok, err := Commute(s1, s2, r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("restricted to #aa*, the splitters must commute")
+	}
+}
+
+// TestSubsumesTheorem63 mirrors the lower-bound construction of
+// Theorem 6.3: S = x{Σ*} subsumes S' = x{E} iff L(E) = Σ* (over the test
+// alphabet).
+func TestSubsumesTheorem63(t *testing.T) {
+	s := splitterOf(t, "x{.*}")
+	universal := splitterOf(t, "x{(a|b)*}")
+	ok, err := Subsumes(s, universal, regexformula.MustCompile("(a|b)*"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("x{Σ*} must subsume the universal splitter on (a|b)*")
+	}
+	partial := splitterOf(t, "x{a*}")
+	ok, err = Subsumes(s, partial, regexformula.MustCompile("(a|b)*"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("x{Σ*} must not subsume x{a*}")
+	}
+}
+
+// TestSubsumesSentencesInParagraphs is the positive motivating example of
+// Section 6: the sentence splitter is subsumed by the paragraph splitter,
+// i.e. splitting into sentences equals splitting paragraphs into
+// sentences. Sentences end at ',' or ';', paragraphs at ';'.
+func TestSubsumesSentencesInParagraphs(t *testing.T) {
+	sentences := splitterOf(t, "(x{[^;,]*})([;,][^;,]*)*|[^;,]*([;,][^;,]*)*[;,](x{[^;,]*})([;,][^;,]*)*")
+	paragraphs := splitterOf(t, "(x{[^;]*})(;[^;]*)*|[^;]*(;[^;]*)*;(x{[^;]*})(;[^;]*)*")
+	ok, err := Subsumes(sentences, paragraphs, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("sentence splitting must factor through paragraph splitting")
+	}
+	// The converse fails: paragraphs are not refined by sentences.
+	ok, err = Subsumes(paragraphs, sentences, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("paragraph splitting must not factor through sentence splitting")
+	}
+}
+
+// TestObservation64 reproduces the counterexample of Observation 6.4:
+// P = PS ∘ S1 and S1 = S1 ∘ S2 do not imply P = PS ∘ S2.
+func TestObservation64(t *testing.T) {
+	p := regexformula.MustCompile(".*y{a}.*")
+	ps := regexformula.MustCompile("y{a}")
+	s1 := splitterOf(t, ".*x{.}.*")
+	s2 := splitterOf(t, ".*x{..}.*|x{.}")
+	ok, err := core.SplitCorrect(p, ps, s1, 0)
+	if err != nil || !ok {
+		t.Fatalf("premise P = PS ∘ S1 failed: %v %v", ok, err)
+	}
+	ok, err = Subsumes(s1, s2, nil, 0)
+	if err != nil || !ok {
+		t.Fatalf("premise S1 = S1 ∘ S2 failed: %v %v", ok, err)
+	}
+	ok, err = core.SplitCorrect(p, ps, s2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("Observation 6.4: P = PS ∘ S2 must fail")
+	}
+}
+
+// TestLemma65 checks the transfer of self-splittability across subsumed
+// splitters, both through the premise-checking helper and directly.
+func TestLemma65(t *testing.T) {
+	// P extracts single letters; S1 splits into unit spans; S2 into
+	// 2-grams or a single unit (S1 = S1 ∘ S2 holds: every unit span lies
+	// in some 2-gram, and unit-splitting a 2-gram gives back unit spans).
+	p := regexformula.MustCompile(".*y{a}.*")
+	s1 := splitterOf(t, ".*x{.}.*")
+	s2 := splitterOf(t, ".*x{..}.*|x{.}")
+	ok, err := TransferSelfSplittability(p, s1, s2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("Lemma 6.5 transfer failed")
+	}
+	// The conclusion must actually hold.
+	ok, err = core.SelfSplittable(p, s2, 0)
+	if err != nil || !ok {
+		t.Fatalf("conclusion P = P ∘ S2 must hold: %v %v", ok, err)
+	}
+	// Broken premise: P is not self-splittable by the 2-gram splitter
+	// alone when spans may straddle segment boundaries.
+	q := regexformula.MustCompile(".*y{aaa}.*")
+	if _, err := TransferSelfSplittability(q, s1, s2, 0); err == nil {
+		t.Fatal("premise violation must be reported")
+	}
+}

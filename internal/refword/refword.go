@@ -1,0 +1,254 @@
+// Package refword implements ref-words (Section 4): strings over the
+// extended alphabet Σ ∪ Γ_V in which variable-open and variable-close
+// markers are interleaved with document bytes. Ref-words give the
+// semantics of regex formulas and VSet-automata; this package provides
+// the string-level side — validity checking, the clr morphism, tuple
+// extraction, and canonical serialization — and is used in tests as an
+// independent executable specification for the automaton pipeline.
+package refword
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/span"
+	"repro/internal/vsa"
+)
+
+// Token is one symbol of a ref-word: either a document byte or a variable
+// operation.
+type Token struct {
+	Byte  byte // valid when !IsOp
+	IsOp  bool
+	Var   int  // variable index, valid when IsOp
+	Close bool // open (false) or close (true), valid when IsOp
+}
+
+// Word is a ref-word over the extended alphabet.
+type Word []Token
+
+// ByteTok returns a byte token.
+func ByteTok(b byte) Token { return Token{Byte: b} }
+
+// OpenTok returns the x_v⊢ token.
+func OpenTok(v int) Token { return Token{IsOp: true, Var: v} }
+
+// CloseTok returns the ⊣x_v token.
+func CloseTok(v int) Token { return Token{IsOp: true, Var: v, Close: true} }
+
+// Clr applies the morphism clr: it erases all variable operations and
+// returns the underlying document (Section 4).
+func (w Word) Clr() string {
+	var b strings.Builder
+	for _, t := range w {
+		if !t.IsOp {
+			b.WriteByte(t.Byte)
+		}
+	}
+	return b.String()
+}
+
+// IsValid reports whether the ref-word is valid for numVars variables:
+// every variable is opened exactly once and closed exactly once, in that
+// order (Section 4's validity).
+func (w Word) IsValid(numVars int) bool {
+	const (
+		unseen = 0
+		open   = 1
+		closed = 2
+	)
+	st := make([]int, numVars)
+	for _, t := range w {
+		if !t.IsOp {
+			continue
+		}
+		if t.Var < 0 || t.Var >= numVars {
+			return false
+		}
+		switch {
+		case !t.Close && st[t.Var] == unseen:
+			st[t.Var] = open
+		case t.Close && st[t.Var] == open:
+			st[t.Var] = closed
+		default:
+			return false
+		}
+	}
+	for _, s := range st {
+		if s != closed {
+			return false
+		}
+	}
+	return true
+}
+
+// Tuple extracts the (V,d)-tuple t_r encoded by a valid ref-word: the
+// span of variable v runs from the position after its open marker to the
+// position of its close marker, in the paper's 1-based convention. It
+// returns an error for invalid ref-words.
+func (w Word) Tuple(numVars int) (span.Tuple, error) {
+	if !w.IsValid(numVars) {
+		return nil, fmt.Errorf("refword: ref-word is not valid for %d variables", numVars)
+	}
+	out := make(span.Tuple, numVars)
+	pos := 1 // 1-based document position of the next byte
+	starts := make([]int, numVars)
+	for _, t := range w {
+		switch {
+		case !t.IsOp:
+			pos++
+		case !t.Close:
+			starts[t.Var] = pos
+		default:
+			out[t.Var] = span.Span{Start: starts[t.Var], End: pos}
+		}
+	}
+	return out, nil
+}
+
+// IsCanonical reports whether adjacent variable operations appear in the
+// canonical order ≺ of package vsa (ascending variable index, open before
+// close). Deterministic VSet-automata produce exactly one canonical
+// ref-word per (document, tuple) — the property behind Theorem 4.3.
+func (w Word) IsCanonical() bool {
+	opKey := func(t Token) int {
+		k := 2 * t.Var
+		if t.Close {
+			k++
+		}
+		return k
+	}
+	for i := 1; i < len(w); i++ {
+		if w[i].IsOp && w[i-1].IsOp && opKey(w[i-1]) >= opKey(w[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Canonicalize sorts every maximal block of adjacent variable operations
+// into the canonical order, returning a new word with the same Clr and
+// Tuple.
+func (w Word) Canonicalize() Word {
+	out := make(Word, len(w))
+	copy(out, w)
+	i := 0
+	for i < len(out) {
+		if !out[i].IsOp {
+			i++
+			continue
+		}
+		j := i
+		for j < len(out) && out[j].IsOp {
+			j++
+		}
+		block := out[i:j]
+		sort.Slice(block, func(a, b int) bool {
+			ka := 2*block[a].Var + boolToInt(block[a].Close)
+			kb := 2*block[b].Var + boolToInt(block[b].Close)
+			return ka < kb
+		})
+		i = j
+	}
+	return out
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Encode builds the canonical ref-word of a (document, tuple) pair.
+func Encode(doc string, t span.Tuple) Word {
+	var w Word
+	for pos := 1; pos <= len(doc)+1; pos++ {
+		for v := range t {
+			if t[v].Start == pos && t[v].End == pos {
+				w = append(w, OpenTok(v), CloseTok(v))
+			} else if t[v].Start == pos {
+				w = append(w, OpenTok(v))
+			}
+		}
+		for v := range t {
+			if t[v].End == pos && t[v].Start != pos {
+				w = append(w, CloseTok(v))
+			}
+		}
+		if pos <= len(doc) {
+			w = append(w, ByteTok(doc[pos-1]))
+		}
+	}
+	return w.Canonicalize()
+}
+
+// String renders the ref-word with x0⊢ / ⊣x0 markers.
+func (w Word) String() string {
+	var b strings.Builder
+	for _, t := range w {
+		switch {
+		case !t.IsOp:
+			b.WriteByte(t.Byte)
+		case !t.Close:
+			fmt.Fprintf(&b, "x%d⊢", t.Var)
+		default:
+			fmt.Fprintf(&b, "⊣x%d", t.Var)
+		}
+	}
+	return b.String()
+}
+
+// Accepts reports whether the automaton accepts the given ref-word, by
+// simulating its extended transitions directly: the operation batches
+// between bytes must match edge operation sets, and the trailing batch
+// must match a final operation set. This is an independent semantics used
+// to cross-validate the evaluator.
+func Accepts(a *vsa.Automaton, w Word) bool {
+	if !w.IsValid(a.Arity()) {
+		return false
+	}
+	canon := w.Canonicalize()
+	// Decompose into (batch, byte)* batch.
+	var batches []vsa.OpSet
+	var bytes []byte
+	cur := vsa.OpSet(0)
+	for _, t := range canon {
+		if t.IsOp {
+			if t.Close {
+				cur |= vsa.Close(t.Var)
+			} else {
+				cur |= vsa.Open(t.Var)
+			}
+			continue
+		}
+		batches = append(batches, cur)
+		bytes = append(bytes, t.Byte)
+		cur = 0
+	}
+	final := cur
+	states := map[int]bool{a.Start: true}
+	for i, b := range bytes {
+		next := map[int]bool{}
+		for q := range states {
+			for _, e := range a.States[q].Edges {
+				if e.Ops == batches[i] && e.Class.Has(b) {
+					next[e.To] = true
+				}
+			}
+		}
+		states = next
+		if len(states) == 0 {
+			return false
+		}
+	}
+	for q := range states {
+		for _, f := range a.States[q].Finals {
+			if f == final {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,161 @@
+package refword
+
+import (
+	"testing"
+
+	"repro/internal/regexformula"
+	"repro/internal/span"
+)
+
+func TestClrAndValidity(t *testing.T) {
+	// r = a x0⊢ b ⊣x0 c
+	w := Word{ByteTok('a'), OpenTok(0), ByteTok('b'), CloseTok(0), ByteTok('c')}
+	if w.Clr() != "abc" {
+		t.Fatalf("Clr = %q", w.Clr())
+	}
+	if !w.IsValid(1) {
+		t.Fatal("ref-word must be valid")
+	}
+	// Missing close.
+	bad := Word{OpenTok(0), ByteTok('a')}
+	if bad.IsValid(1) {
+		t.Fatal("unclosed variable must be invalid")
+	}
+	// Close before open.
+	bad2 := Word{CloseTok(0), ByteTok('a'), OpenTok(0)}
+	if bad2.IsValid(1) {
+		t.Fatal("close before open must be invalid")
+	}
+	// Double open — the footnote-5 example ε ∈ R((x{a})*) is invalid.
+	bad3 := Word{OpenTok(0), CloseTok(0), OpenTok(0), CloseTok(0)}
+	if bad3.IsValid(1) {
+		t.Fatal("double binding must be invalid")
+	}
+	if (Word{}).IsValid(1) {
+		t.Fatal("empty ref-word is invalid when variables exist")
+	}
+	if !(Word{}).IsValid(0) {
+		t.Fatal("empty ref-word is valid with no variables")
+	}
+}
+
+func TestTupleExtraction(t *testing.T) {
+	// Section 4: t_r(x) = [i,j⟩ with i = |clr(pre)|+1, j = i + |clr(mid)|.
+	w := Word{ByteTok('a'), OpenTok(0), ByteTok('b'), ByteTok('c'), CloseTok(0), ByteTok('d')}
+	tp, err := w.Tuple(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp[0] != span.New(2, 4) {
+		t.Fatalf("tuple = %v, want [2,4⟩", tp[0])
+	}
+	// Empty span at a boundary.
+	w2 := Word{ByteTok('a'), OpenTok(0), CloseTok(0), ByteTok('b')}
+	tp2, err := w2.Tuple(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp2[0] != span.New(2, 2) {
+		t.Fatalf("tuple = %v, want [2,2⟩", tp2[0])
+	}
+	if _, err := (Word{OpenTok(0)}).Tuple(1); err == nil {
+		t.Fatal("invalid ref-word must not yield a tuple")
+	}
+}
+
+func TestCanonicalization(t *testing.T) {
+	// ⊣x0 x1⊢ out of order vs x1⊢ ⊣x0: canonical order is ascending
+	// (var, kind) with open(0) < close(0) < open(1).
+	w := Word{OpenTok(0), ByteTok('a'), OpenTok(1), CloseTok(0), ByteTok('b'), CloseTok(1)}
+	if !w.Canonicalize().IsCanonical() {
+		t.Fatal("canonicalization must produce canonical order")
+	}
+	c := w.Canonicalize()
+	// The block between the bytes is {x1⊢, ⊣x0}; canonical order puts
+	// ⊣x0 (key 1) before x1⊢ (key 2).
+	if !c[2].IsOp || !c[2].Close || c[2].Var != 0 {
+		t.Fatalf("canonical block order wrong: %v", c)
+	}
+	tp1, _ := w.Tuple(2)
+	tp2, _ := c.Tuple(2)
+	if !tp1.Equal(tp2) {
+		t.Fatal("canonicalization must preserve the tuple")
+	}
+	if w.Clr() != c.Clr() {
+		t.Fatal("canonicalization must preserve the document")
+	}
+}
+
+func TestEncodeRoundTrip(t *testing.T) {
+	doc := "abcd"
+	tp := span.Tuple{span.New(2, 4), span.New(3, 3)}
+	w := Encode(doc, tp)
+	if !w.IsCanonical() || !w.IsValid(2) {
+		t.Fatalf("Encode must produce a canonical valid ref-word: %v", w)
+	}
+	if w.Clr() != doc {
+		t.Fatalf("Clr = %q", w.Clr())
+	}
+	got, err := w.Tuple(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(tp) {
+		t.Fatalf("round trip: %v vs %v", got, tp)
+	}
+}
+
+// TestAcceptsAgreesWithEval ties the ref-word semantics to the evaluator:
+// for every document and tuple, the automaton accepts the canonical
+// ref-word iff the tuple is in the evaluated relation.
+func TestAcceptsAgreesWithEval(t *testing.T) {
+	formulas := []string{
+		"x{a}", ".*x{a}.*", "x{ab}b|a(x{bb})", "x{a}y{b}", ".*x{a.*}y{b}.*",
+		"x{}a", "a?x{.*}",
+	}
+	var docs []string
+	frontier := []string{""}
+	docs = append(docs, "")
+	for l := 0; l < 4; l++ {
+		var next []string
+		for _, d := range frontier {
+			for _, c := range "ab" {
+				next = append(next, d+string(c))
+			}
+		}
+		docs = append(docs, next...)
+		frontier = next
+	}
+	for _, src := range formulas {
+		a := regexformula.MustCompile(src)
+		nv := a.Arity()
+		for _, d := range docs {
+			rel := a.Eval(d)
+			// Every evaluated tuple's canonical ref-word is accepted.
+			for _, tp := range rel.Tuples {
+				if !Accepts(a, Encode(d, tp)) {
+					t.Fatalf("%s on %q: evaluator tuple %v rejected by ref-word semantics", src, d, tp)
+				}
+			}
+			// And every candidate tuple not in the relation is rejected.
+			for i := 1; i <= len(d)+1; i++ {
+				for j := i; j <= len(d)+1; j++ {
+					if nv != 1 {
+						continue
+					}
+					tp := span.Tuple{span.New(i, j)}
+					if Accepts(a, Encode(d, tp)) != rel.Has(tp) {
+						t.Fatalf("%s on %q: ref-word semantics disagrees on %v", src, d, tp)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	w := Word{OpenTok(0), ByteTok('a'), CloseTok(0)}
+	if w.String() != "x0⊢a⊣x0" {
+		t.Fatalf("String = %q", w.String())
+	}
+}

@@ -1,0 +1,166 @@
+package regexformula
+
+import (
+	"testing"
+
+	"repro/internal/span"
+)
+
+func TestParseBasics(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string // canonical String rendering
+	}{
+		{"abc", "abc"},
+		{"a|b", "a|b"},
+		{"a*", "a*"},
+		{"(ab)*", "(ab)*"},
+		{"x{ab}", "x{ab}"},
+		{"x{a|b}c", "x{a|b}c"},
+		{"a?", "a|ε"},
+		{"a+", "aa*"},
+	}
+	for _, c := range cases {
+		n, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if got := n.String(); got != c.want {
+			t.Errorf("Parse(%s).String() = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{"(", "(a", "a)", "x{a", "[a", "[z-a]", "a**extra)", "*", "\\"}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseIdentifierVsLiteral(t *testing.T) {
+	// "GET " is all literal; "req{...}" is a capture named req.
+	n := MustParse("GET req{.*}")
+	vars := Vars(n)
+	if len(vars) != 1 || vars[0] != "req" {
+		t.Fatalf("Vars = %v", vars)
+	}
+	// An identifier not followed by '{' is literal bytes.
+	n2 := MustParse("abc|x")
+	if len(Vars(n2)) != 0 {
+		t.Fatal("no captures expected")
+	}
+}
+
+func TestCharClasses(t *testing.T) {
+	n := MustParse("[a-c]")
+	rel := EvalNaive(n, "b")
+	if rel.Len() != 1 {
+		t.Fatal("[a-c] must match b")
+	}
+	if EvalNaive(n, "d").Len() != 0 {
+		t.Fatal("[a-c] must not match d")
+	}
+	neg := MustParse("[^a]")
+	if EvalNaive(neg, "a").Len() != 0 || EvalNaive(neg, "z").Len() != 1 {
+		t.Fatal("negated class broken")
+	}
+	esc := MustParse(`\d\d`)
+	if EvalNaive(esc, "42").Len() != 1 || EvalNaive(esc, "4x").Len() != 0 {
+		t.Fatal("\\d broken")
+	}
+}
+
+func TestEscapes(t *testing.T) {
+	if EvalNaive(MustParse(`\{`), "{").Len() != 1 {
+		t.Fatal("escaped brace broken")
+	}
+	if EvalNaive(MustParse(`\x41`), "A").Len() != 1 {
+		t.Fatal("hex escape broken")
+	}
+	if EvalNaive(MustParse(`a\|b`), "a|b").Len() != 1 {
+		t.Fatal("escaped pipe broken")
+	}
+}
+
+func TestEvalNaivePaperExample58(t *testing.T) {
+	// Example 5.8: P = a y{b} b on document abb selects exactly [2,3⟩.
+	p := MustParse("a(y{b})b")
+	rel := EvalNaive(p, "abb")
+	want := span.NewRelation("y")
+	want.Add(span.Tuple{span.New(2, 3)})
+	if !rel.Equal(want) {
+		t.Fatalf("P(abb) = %v, want %v", rel, want)
+	}
+	if EvalNaive(p, "ab").Len() != 0 {
+		t.Fatal("P must be empty on ab")
+	}
+
+	// S = x{ab}b + a x{bb} on abb selects [1,3⟩ and [2,4⟩.
+	s := MustParse("x{ab}b|a(x{bb})")
+	relS := EvalNaive(s, "abb")
+	wantS := span.NewRelation("x")
+	wantS.Add(span.Tuple{span.New(1, 3)})
+	wantS.Add(span.Tuple{span.New(2, 4)})
+	if !relS.Equal(wantS) {
+		t.Fatalf("S(abb) = %v, want %v", relS, wantS)
+	}
+}
+
+func TestEvalNaiveInvalidRefWordsDiscarded(t *testing.T) {
+	// (x{a})* on "aa" would bind x twice — the ref-word is invalid, so
+	// only single-iteration matches survive; none span the whole document.
+	n := MustParse("(x{a})*")
+	if got := EvalNaive(n, "aa"); got.Len() != 0 {
+		t.Fatalf("expected no valid matches, got %v", got)
+	}
+	// On "a" exactly one binding.
+	if got := EvalNaive(n, "a"); got.Len() != 1 {
+		t.Fatalf("expected one match, got %v", got)
+	}
+}
+
+func TestEvalNaiveEmptyCaptures(t *testing.T) {
+	n := MustParse("x{}a")
+	rel := EvalNaive(n, "a")
+	want := span.NewRelation("x")
+	want.Add(span.Tuple{span.New(1, 1)})
+	if !rel.Equal(want) {
+		t.Fatalf("x{}a on a = %v, want %v", rel, want)
+	}
+}
+
+func TestVarsFirstOccurrenceOrder(t *testing.T) {
+	n := MustParse("y{a}x{b}|x{a}y{b}")
+	vars := Vars(n)
+	if len(vars) != 2 || vars[0] != "y" || vars[1] != "x" {
+		t.Fatalf("Vars = %v", vars)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, src := range []string{"abc", "a|bc", "(a|b)*", "x{a|b}c", "x{y{a}b}"} {
+		n := MustParse(src)
+		n2, err := Parse(n.String())
+		if err != nil {
+			t.Fatalf("re-parse of %s (%s): %v", src, n.String(), err)
+		}
+		for _, d := range []string{"", "a", "b", "ab", "abc", "ba"} {
+			if !EvalNaive(n, d).Equal(EvalNaive(n2, d)) {
+				t.Fatalf("round trip of %s changed semantics on %q", src, d)
+			}
+		}
+	}
+}
+
+func TestCompileRawStructure(t *testing.T) {
+	raw := CompileRaw(MustParse("x{a}"))
+	if len(raw.Vars) != 1 || raw.Vars[0] != "x" {
+		t.Fatalf("Vars = %v", raw.Vars)
+	}
+	if raw.IsFunctional() != true {
+		t.Fatal("x{a} must compile to a functional raw automaton")
+	}
+}

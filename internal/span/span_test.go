@@ -1,0 +1,268 @@
+package span
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestShiftFigure1 reproduces Figure 1 of the paper: with s = [7,13⟩ and
+// s' = [2,6⟩ a span of d_s, the shifted span is s' ≫ s = [8,12⟩.
+func TestShiftFigure1(t *testing.T) {
+	s := New(7, 13)
+	sp := New(2, 6)
+	if got := sp.Shift(s); got != New(8, 12) {
+		t.Fatalf("s' ≫ s = %v, want [8,12⟩", got)
+	}
+}
+
+func TestShiftUnshiftRoundTrip(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		inner := New(int(a%20)+1, int(a%20)+1+int(b%10))
+		// An enclosing span long enough to contain the shifted copy.
+		outer := New(int(c%20)+1, int(c%20)+1+int(d%10)+30)
+		shifted := inner.Shift(outer)
+		return shifted.Len() == inner.Len() &&
+			outer.Contains(shifted) &&
+			shifted.Unshift(outer) == inner
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShiftAssociative checks the associativity identity used in the proof
+// of Lemma 6.5: (s1 ≫ s2) ≫ s3 = s1 ≫ (s2 ≫ s3).
+func TestShiftAssociative(t *testing.T) {
+	f := func(a1, b1, a2, b2, a3, b3 uint8) bool {
+		s1 := New(int(a1%30)+1, int(a1%30)+1+int(b1%10))
+		s2 := New(int(a2%30)+1, int(a2%30)+1+int(b2%10))
+		s3 := New(int(a3%30)+1, int(a3%30)+1+int(b3%10))
+		return s1.Shift(s2).Shift(s3) == s1.Shift(s2.Shift(s3))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpanBasics(t *testing.T) {
+	d := "abcdef"
+	s := New(2, 5)
+	if got := s.In(d); got != "bcd" {
+		t.Fatalf("In = %q, want bcd", got)
+	}
+	if s.Len() != 3 || s.IsEmpty() {
+		t.Fatalf("Len/IsEmpty wrong for %v", s)
+	}
+	e := New(3, 3)
+	if e.Len() != 0 || !e.IsEmpty() {
+		t.Fatalf("empty span misreported")
+	}
+	if e.In(d) != "" {
+		t.Fatalf("empty span should select empty string")
+	}
+	if !New(1, 7).ValidFor(6) || New(1, 8).ValidFor(6) {
+		t.Fatalf("ValidFor wrong")
+	}
+}
+
+func TestSpanEqualityIsPositional(t *testing.T) {
+	// d[1,2⟩ = d[3,4⟩ = "a" but the spans differ (Section 2).
+	d := "aba"
+	s1, s2 := New(1, 2), New(3, 4)
+	if s1.In(d) != s2.In(d) {
+		t.Fatal("substrings should be equal")
+	}
+	if s1 == s2 {
+		t.Fatal("spans must not be equal")
+	}
+}
+
+// TestOverlapDefinition pins down the paper's overlap predicate including
+// the empty-span asymmetries that the decision procedures must respect
+// (see DESIGN.md).
+func TestOverlapDefinition(t *testing.T) {
+	cases := []struct {
+		a, b Span
+		want bool
+	}{
+		{New(1, 3), New(2, 4), true},
+		{New(1, 2), New(2, 3), false}, // touching, not overlapping
+		{New(1, 3), New(3, 3), false}, // empty at right endpoint
+		{New(2, 2), New(1, 3), true},  // empty strictly inside
+		{New(1, 3), New(2, 2), true},
+		{New(2, 2), New(2, 4), true}, // empty at left endpoint of nonempty
+		{New(2, 2), New(1, 2), false},
+		// Under the paper's definition an empty span does not overlap
+		// itself: neither i ≤ i' < j nor i' ≤ i < j' holds when i=j=i'=j'.
+		{New(2, 2), New(2, 2), false},
+		{New(1, 2), New(5, 9), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Overlaps(c.b); got != c.want {
+			t.Errorf("Overlaps(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.a.Disjoint(c.b); got == c.want {
+			t.Errorf("Disjoint(%v,%v) should be !Overlaps", c.a, c.b)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	if !New(1, 5).Contains(New(2, 3)) || !New(1, 5).Contains(New(1, 5)) {
+		t.Fatal("Contains too strict")
+	}
+	if !New(1, 5).Contains(New(5, 5)) {
+		t.Fatal("span must contain empty span at its right endpoint")
+	}
+	if New(2, 5).Contains(New(1, 3)) {
+		t.Fatal("Contains too lax")
+	}
+}
+
+// TestAllenExhaustive verifies that every pair of spans falls in exactly
+// one Allen relation and that the relation is consistent with Overlaps.
+func TestAllenExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	counts := map[AllenRelation]int{}
+	mkSpan := func() Span {
+		i, j := rng.Intn(6)+1, rng.Intn(6)+1
+		if j < i {
+			i, j = j, i
+		}
+		return New(i, j)
+	}
+	for i := 0; i < 20000; i++ {
+		a := mkSpan()
+		b := mkSpan()
+		r := Allen(a, b)
+		counts[r]++
+		// Inverse property.
+		inv := map[AllenRelation]AllenRelation{
+			Before: After, Meets: MetBy, OverlapsAllen: OverlappedBy,
+			Starts: StartedBy, During: ContainsAllen, Finishes: FinishedBy,
+			Equal: Equal, FinishedBy: Finishes, ContainsAllen: During,
+			StartedBy: Starts, OverlappedBy: OverlapsAllen, MetBy: Meets, After: Before,
+		}
+		if got := Allen(b, a); got != inv[r] {
+			t.Fatalf("Allen(%v,%v)=%v but Allen(%v,%v)=%v", a, b, r, b, a, got)
+		}
+	}
+	for r := Before; r <= After; r++ {
+		if counts[r] == 0 {
+			t.Errorf("relation %v never produced; sampling or Allen broken", r)
+		}
+	}
+}
+
+func TestTupleHull(t *testing.T) {
+	tp := Tuple{New(3, 5), New(2, 4), New(6, 6)}
+	if h := tp.Hull(); h != New(2, 6) {
+		t.Fatalf("hull = %v, want [2,6⟩", h)
+	}
+}
+
+func TestRelationSetSemantics(t *testing.T) {
+	r := NewRelation("x", "y")
+	r.Add(Tuple{New(1, 2), New(2, 3)})
+	if r.Add(Tuple{New(1, 2), New(2, 3)}) {
+		t.Fatal("duplicate add must be rejected")
+	}
+	r.Add(Tuple{New(2, 3), New(3, 4)})
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	o := NewRelation("x", "y")
+	o.Add(Tuple{New(2, 3), New(3, 4)})
+	o.Add(Tuple{New(1, 2), New(2, 3)})
+	if !r.Equal(o) {
+		t.Fatal("order must not matter for Equal")
+	}
+}
+
+func TestRelationProjectAndJoin(t *testing.T) {
+	r := NewRelation("x", "y")
+	r.Add(Tuple{New(1, 2), New(2, 3)})
+	r.Add(Tuple{New(1, 2), New(3, 4)})
+	p, err := r.Project([]string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 1 {
+		t.Fatalf("projection should dedupe, got %d tuples", p.Len())
+	}
+	s := NewRelation("y", "z")
+	s.Add(Tuple{New(2, 3), New(5, 6)})
+	j := r.Join(s)
+	if j.Len() != 1 {
+		t.Fatalf("join size = %d, want 1", j.Len())
+	}
+	want := NewRelation("x", "y", "z")
+	want.Add(Tuple{New(1, 2), New(2, 3), New(5, 6)})
+	if !j.Equal(want) {
+		t.Fatalf("join = %v, want %v", j, want)
+	}
+	if _, err := r.Project([]string{"nope"}); err == nil {
+		t.Fatal("projecting onto unknown variable must fail")
+	}
+}
+
+func TestJoinCommutesOnSharedVars(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func(vars ...string) *Relation {
+			r := NewRelation(vars...)
+			for i := 0; i < rng.Intn(5); i++ {
+				tp := make(Tuple, len(vars))
+				for j := range tp {
+					s := rng.Intn(4) + 1
+					tp[j] = New(s, s+rng.Intn(3))
+				}
+				r.Add(tp)
+			}
+			return r
+		}
+		a := mk("x", "y")
+		b := mk("y", "z")
+		ab := a.Join(b)
+		ba := b.Join(a)
+		abP, err1 := ab.Project([]string{"x", "y", "z"})
+		baP, err2 := ba.Project([]string{"x", "y", "z"})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return abP.Equal(baP)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelationUnion(t *testing.T) {
+	a := NewRelation("x")
+	a.Add(Tuple{New(1, 2)})
+	b := NewRelation("x")
+	b.Add(Tuple{New(2, 3)})
+	b.Add(Tuple{New(1, 2)})
+	if err := a.Union(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 2 {
+		t.Fatalf("union size = %d, want 2", a.Len())
+	}
+	c := NewRelation("y")
+	if err := a.Union(c); err == nil {
+		t.Fatal("union of incompatible relations must fail")
+	}
+}
+
+func TestShiftAll(t *testing.T) {
+	r := NewRelation("x")
+	r.Add(Tuple{New(1, 3)})
+	s := r.ShiftAll(New(5, 9))
+	want := NewRelation("x")
+	want.Add(Tuple{New(5, 7)})
+	if !s.Equal(want) {
+		t.Fatalf("ShiftAll = %v, want %v", s, want)
+	}
+}

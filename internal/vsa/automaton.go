@@ -1,0 +1,379 @@
+package vsa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/alphabet"
+)
+
+// Edge is a transition of an extended VSet-automaton: perform the variable
+// operations Ops at the current boundary (in canonical ≺ order), then
+// consume one byte of Class and move to state To.
+type Edge struct {
+	Ops   OpSet
+	Class alphabet.Class
+	To    int
+}
+
+// State holds the outgoing transitions and the accepting operation sets of
+// one state. A state accepts at the end of the document by performing one
+// of its Finals operation sets at the final boundary.
+type State struct {
+	Edges  []Edge
+	Finals []OpSet
+}
+
+// Automaton is a functional extended VSet-automaton (eVSA). Functionality
+// (every accepting run induces a valid ref-word) is an invariant
+// maintained by all constructors in this library: Compile enforces it and
+// every algebraic construction preserves it. Use Validate to check the
+// invariant on hand-built automata.
+type Automaton struct {
+	Vars   []string
+	Start  int
+	States []State
+
+	// Lazily computed per-state suffix-universality, used by Eval to emit
+	// completed assignments early. Computed on first evaluation; the
+	// automaton must not be mutated afterwards.
+	suffixOnce sync.Once
+	suffixUni  []bool
+}
+
+// NewAutomaton returns an automaton with the given variable names and a
+// single (start) state 0.
+func NewAutomaton(vars ...string) *Automaton {
+	if len(vars) > MaxVars {
+		panic(fmt.Sprintf("vsa: at most %d variables are supported", MaxVars))
+	}
+	seen := map[string]bool{}
+	for _, v := range vars {
+		if seen[v] {
+			panic(fmt.Sprintf("vsa: duplicate variable %q", v))
+		}
+		seen[v] = true
+	}
+	return &Automaton{Vars: append([]string(nil), vars...), States: make([]State, 1)}
+}
+
+// AddState adds a fresh state and returns its id.
+func (a *Automaton) AddState() int {
+	a.States = append(a.States, State{})
+	return len(a.States) - 1
+}
+
+// AddEdge adds a transition. Duplicate transitions are ignored.
+func (a *Automaton) AddEdge(from int, ops OpSet, class alphabet.Class, to int) {
+	e := Edge{ops, class, to}
+	for _, f := range a.States[from].Edges {
+		if f == e {
+			return
+		}
+	}
+	a.States[from].Edges = append(a.States[from].Edges, e)
+}
+
+// AddFinal marks state q as accepting with the final operation set ops.
+func (a *Automaton) AddFinal(q int, ops OpSet) {
+	for _, f := range a.States[q].Finals {
+		if f == ops {
+			return
+		}
+	}
+	a.States[q].Finals = append(a.States[q].Finals, ops)
+}
+
+// NumStates returns the number of states.
+func (a *Automaton) NumStates() int { return len(a.States) }
+
+// NumEdges returns the number of transitions.
+func (a *Automaton) NumEdges() int {
+	n := 0
+	for _, s := range a.States {
+		n += len(s.Edges)
+	}
+	return n
+}
+
+// VarIndex returns the index of the named variable, or -1.
+func (a *Automaton) VarIndex(name string) int {
+	for i, v := range a.Vars {
+		if v == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Arity returns the number of variables.
+func (a *Automaton) Arity() int { return len(a.Vars) }
+
+// Clone returns a deep copy of the automaton.
+func (a *Automaton) Clone() *Automaton {
+	out := &Automaton{
+		Vars:   append([]string(nil), a.Vars...),
+		Start:  a.Start,
+		States: make([]State, len(a.States)),
+	}
+	for i, s := range a.States {
+		out.States[i] = State{
+			Edges:  append([]Edge(nil), s.Edges...),
+			Finals: append([]OpSet(nil), s.Finals...),
+		}
+	}
+	return out
+}
+
+// Classes returns all distinct byte classes appearing on edges.
+func (a *Automaton) Classes() []alphabet.Class {
+	seen := map[alphabet.Class]bool{}
+	var out []alphabet.Class
+	for _, s := range a.States {
+		for _, e := range s.Edges {
+			if !seen[e.Class] {
+				seen[e.Class] = true
+				out = append(out, e.Class)
+			}
+		}
+	}
+	return out
+}
+
+// IsDeterministic reports whether the automaton is deterministic in the
+// sense of Section 4.2: for every state, operation set, and byte there is
+// at most one successor state. Together with functionality this is the
+// dfVSA class for which containment is tractable (Theorem 4.3).
+func (a *Automaton) IsDeterministic() bool {
+	for _, s := range a.States {
+		byOps := map[OpSet][]Edge{}
+		for _, e := range s.Edges {
+			byOps[e.Ops] = append(byOps[e.Ops], e)
+		}
+		for _, es := range byOps {
+			for i := 0; i < len(es); i++ {
+				for j := i + 1; j < len(es); j++ {
+					if es[i].To != es[j].To && es[i].Class.Intersects(es[j].Class) {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Statuses returns the per-state variable-status vector. In a functional
+// automaton the status is a function of the input prefix, hence unique per
+// reachable state; unreachable states get status 0. An error is returned
+// if two paths assign conflicting statuses or an edge misuses a variable —
+// both indicate a broken (non-functional) hand-built automaton.
+func (a *Automaton) Statuses() ([]Status, error) {
+	st := make([]Status, len(a.States))
+	known := make([]bool, len(a.States))
+	st[a.Start] = 0
+	known[a.Start] = true
+	queue := []int{a.Start}
+	for len(queue) > 0 {
+		q := queue[0]
+		queue = queue[1:]
+		for _, e := range a.States[q].Edges {
+			next, ok := st[q].Apply(e.Ops)
+			if !ok {
+				return nil, fmt.Errorf("vsa: edge from state %d misuses a variable (ops %v from status %#x)", q, e.Ops, uint64(st[q]))
+			}
+			if known[e.To] {
+				if st[e.To] != next {
+					return nil, fmt.Errorf("vsa: state %d reachable with conflicting statuses %#x and %#x", e.To, uint64(st[e.To]), uint64(next))
+				}
+				continue
+			}
+			st[e.To] = next
+			known[e.To] = true
+			queue = append(queue, e.To)
+		}
+	}
+	return st, nil
+}
+
+// Validate checks the functional-eVSA invariants: statuses are consistent
+// and every final operation set completes the run to the all-closed
+// status. Constructions in this library maintain these invariants; tests
+// call Validate on every constructed automaton.
+func (a *Automaton) Validate() error {
+	st, err := a.Statuses()
+	if err != nil {
+		return err
+	}
+	all := AllClosed(len(a.Vars))
+	for q, s := range a.States {
+		for _, f := range s.Finals {
+			fin, ok := st[q].Apply(f)
+			if !ok {
+				return fmt.Errorf("vsa: final ops %v of state %d misuse a variable", f, q)
+			}
+			if fin != all {
+				return fmt.Errorf("vsa: final ops %v of state %d leave variables unclosed", f, q)
+			}
+		}
+	}
+	return nil
+}
+
+// Trim returns an equivalent automaton with only useful states (reachable
+// from the start and able to reach acceptance). If the language is empty
+// the result has a single start state with no edges and no finals.
+func (a *Automaton) Trim() *Automaton {
+	n := len(a.States)
+	reach := make([]bool, n)
+	reach[a.Start] = true
+	stack := []int{a.Start}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range a.States[q].Edges {
+			if !reach[e.To] {
+				reach[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	rev := make([][]int, n)
+	for q, s := range a.States {
+		for _, e := range s.Edges {
+			rev[e.To] = append(rev[e.To], q)
+		}
+	}
+	co := make([]bool, n)
+	for q, s := range a.States {
+		if len(s.Finals) > 0 {
+			co[q] = true
+			stack = append(stack, q)
+		}
+	}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range rev[q] {
+			if !co[p] {
+				co[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	out := NewAutomaton(a.Vars...)
+	id := make([]int, n)
+	for q := range id {
+		id[q] = -1
+	}
+	id[a.Start] = 0
+	for q := 0; q < n; q++ {
+		if q != a.Start && reach[q] && co[q] {
+			id[q] = out.AddState()
+		}
+	}
+	for q, s := range a.States {
+		if id[q] < 0 || !co[q] {
+			continue
+		}
+		for _, e := range s.Edges {
+			if id[e.To] >= 0 && co[e.To] {
+				out.AddEdge(id[q], e.Ops, e.Class, id[e.To])
+			}
+		}
+		for _, f := range s.Finals {
+			out.AddFinal(id[q], f)
+		}
+	}
+	return out
+}
+
+// IsEmptyLanguage reports whether the automaton accepts no (document,
+// tuple) pair at all.
+func (a *Automaton) IsEmptyLanguage() bool {
+	t := a.Trim()
+	return len(t.States[t.Start].Finals) == 0 && len(t.States[t.Start].Edges) == 0 && t.NumStates() == 1
+}
+
+// Remap returns a copy with variables renamed according to names, which
+// must be a permutation-compatible list: names[i] is the new name of
+// variable i. The canonical operation order follows variable indices, so
+// Remap keeps indices and only relabels.
+func (a *Automaton) Remap(names []string) *Automaton {
+	if len(names) != len(a.Vars) {
+		panic("vsa: Remap: wrong number of names")
+	}
+	out := a.Clone()
+	out.Vars = append([]string(nil), names...)
+	return out
+}
+
+// ReorderVars returns an equivalent automaton whose variable list is
+// exactly order (a permutation of a.Vars), rewriting all operation sets.
+func (a *Automaton) ReorderVars(order []string) (*Automaton, error) {
+	if len(order) != len(a.Vars) {
+		return nil, fmt.Errorf("vsa: reorder: arity mismatch")
+	}
+	perm := make([]int, len(a.Vars)) // perm[old] = new
+	used := make([]bool, len(order))
+	for old, name := range a.Vars {
+		idx := -1
+		for i, n := range order {
+			if n == name && !used[i] {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("vsa: reorder: variable %q missing from order", name)
+		}
+		used[idx] = true
+		perm[old] = idx
+	}
+	mapOps := func(o OpSet) OpSet {
+		var out OpSet
+		for v := 0; v < len(a.Vars); v++ {
+			if o.OpensVar(v) {
+				out |= Open(perm[v])
+			}
+			if o.ClosesVar(v) {
+				out |= Close(perm[v])
+			}
+		}
+		return out
+	}
+	out := NewAutomaton(order...)
+	out.Start = a.Start
+	out.States = make([]State, len(a.States))
+	for q, s := range a.States {
+		for _, e := range s.Edges {
+			out.States[q].Edges = append(out.States[q].Edges, Edge{mapOps(e.Ops), e.Class, e.To})
+		}
+		for _, f := range s.Finals {
+			out.States[q].Finals = append(out.States[q].Finals, mapOps(f))
+		}
+	}
+	return out, nil
+}
+
+// String renders the automaton for debugging.
+func (a *Automaton) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "eVSA vars=%v start=%d\n", a.Vars, a.Start)
+	for q, s := range a.States {
+		for _, e := range s.Edges {
+			fmt.Fprintf(&b, "  %d --[%v]%v--> %d\n", q, e.Ops, e.Class, e.To)
+		}
+		if len(s.Finals) > 0 {
+			fs := make([]string, len(s.Finals))
+			for i, f := range s.Finals {
+				fs[i] = f.String()
+			}
+			sort.Strings(fs)
+			fmt.Fprintf(&b, "  %d accepts with {%s}\n", q, strings.Join(fs, " | "))
+		}
+	}
+	return b.String()
+}

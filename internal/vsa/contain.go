@@ -1,0 +1,211 @@
+package vsa
+
+import (
+	"fmt"
+
+	"repro/internal/alphabet"
+	"repro/internal/automata"
+)
+
+// SymTab interns the extended alphabet shared by a family of automata that
+// are to be compared: byte atoms (the coarsest partition refining every
+// byte class of every automaton) followed by operation-set symbols. A
+// (document, tuple) pair corresponds to exactly one extended word
+// O₀ a₁ O₁ a₂ … aₙ Oₙ — operation sets at every boundary (possibly ∅)
+// alternating with byte atoms — so spanner containment coincides with
+// word-language containment of the translated NFAs (for functional
+// automata over the same variable list), which is how Theorems 4.1 and 4.3
+// are realized.
+type SymTab struct {
+	AtomsList []alphabet.Class
+	opSyms    map[OpSet]int
+	opOrder   []OpSet
+}
+
+// NewSymTab builds a shared symbol table for the given automata. All op
+// sets appearing on edges or finals are interned, as is the empty set.
+func NewSymTab(autos ...*Automaton) *SymTab {
+	var classes []alphabet.Class
+	t := &SymTab{opSyms: map[OpSet]int{}}
+	addOps := func(o OpSet) {
+		if _, ok := t.opSyms[o]; !ok {
+			t.opSyms[o] = len(t.opOrder) // resolved to symbol ids later
+			t.opOrder = append(t.opOrder, o)
+		}
+	}
+	addOps(0)
+	for _, a := range autos {
+		classes = append(classes, a.Classes()...)
+		for _, s := range a.States {
+			for _, e := range s.Edges {
+				addOps(e.Ops)
+			}
+			for _, f := range s.Finals {
+				addOps(f)
+			}
+		}
+	}
+	t.AtomsList = alphabet.Atoms(classes)
+	for i, o := range t.opOrder {
+		t.opSyms[o] = len(t.AtomsList) + i
+	}
+	return t
+}
+
+// NumSymbols returns the size of the interned alphabet.
+func (t *SymTab) NumSymbols() int { return len(t.AtomsList) + len(t.opOrder) }
+
+// OpSym returns the symbol id of an operation set; it panics if the set
+// was not interned, which indicates the symbol table was built from the
+// wrong automata.
+func (t *SymTab) OpSym(o OpSet) int {
+	s, ok := t.opSyms[o]
+	if !ok {
+		panic(fmt.Sprintf("vsa: operation set %v not in symbol table", o))
+	}
+	return s
+}
+
+// AtomSyms returns the symbol ids of all atoms contained in class.
+func (t *SymTab) AtomSyms(class alphabet.Class) []int {
+	var out []int
+	for i, a := range t.AtomsList {
+		if class.ContainsClass(a) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// WordNFA translates the automaton into an NFA over the extended words of
+// tab. States alternate between "expecting an operation set" (the original
+// states) and "expecting a byte" (one per (state, ops) pair in use); the
+// accepting states are the (state, final-ops) pairs. The translation
+// preserves determinism.
+func (a *Automaton) WordNFA(tab *SymTab) *automata.NFA {
+	n := automata.New(tab.NumSymbols())
+	base := make([]int, len(a.States))
+	for q := range a.States {
+		base[q] = n.AddState(false)
+	}
+	type mid struct {
+		q   int
+		ops OpSet
+	}
+	mids := map[mid]int{}
+	midState := func(q int, ops OpSet, final bool) int {
+		k := mid{q, ops}
+		if s, ok := mids[k]; ok {
+			if final {
+				n.Final[s] = true
+			}
+			return s
+		}
+		s := n.AddState(final)
+		mids[k] = s
+		n.AddEdge(base[q], tab.OpSym(ops), s)
+		return s
+	}
+	for q, s := range a.States {
+		for _, e := range s.Edges {
+			m := midState(q, e.Ops, false)
+			for _, sym := range tab.AtomSyms(e.Class) {
+				n.AddEdge(m, sym, base[e.To])
+			}
+		}
+		for _, f := range s.Finals {
+			midState(q, f, true)
+		}
+	}
+	n.AddStart(base[a.Start])
+	n.DedupeEdges()
+	return n
+}
+
+// sameVars reports whether two automata use the same variable list in the
+// same order.
+func sameVars(a, b *Automaton) bool {
+	if len(a.Vars) != len(b.Vars) {
+		return false
+	}
+	for i := range a.Vars {
+		if a.Vars[i] != b.Vars[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// alignVars reorders b's variables to match a's; containment is only
+// defined for spanners over the same variable set.
+func alignVars(a, b *Automaton) (*Automaton, error) {
+	if sameVars(a, b) {
+		return b, nil
+	}
+	return b.ReorderVars(a.Vars)
+}
+
+// Contained decides ⟦a⟧ ⊆ ⟦b⟧ (Theorem 4.1). The general case uses an
+// on-the-fly subset construction and is exponential in the worst case —
+// the problem is PSPACE-complete — guarded by limit (≤ 0 means
+// automata.DefaultLimit). When b is deterministic the product-based
+// Theorem 4.3 procedure is used instead and limit is irrelevant.
+func Contained(a, b *Automaton, limit int) (bool, error) {
+	b2, err := alignVars(a, b)
+	if err != nil {
+		return false, err
+	}
+	tab := NewSymTab(a, b2)
+	na := a.WordNFA(tab)
+	nb := b2.WordNFA(tab)
+	if nb.IsDeterministic() {
+		ok, _ := automata.ContainsDet(na, nb)
+		return ok, nil
+	}
+	ok, _, err := automata.Contains(na, nb, limit)
+	return ok, err
+}
+
+// Equivalent decides ⟦a⟧ = ⟦b⟧ by two containment checks.
+func Equivalent(a, b *Automaton, limit int) (bool, error) {
+	ok, err := Contained(a, b, limit)
+	if err != nil || !ok {
+		return ok, err
+	}
+	return Contained(b, a, limit)
+}
+
+// CounterExample searches for a document and tuple accepted by a but not
+// by b; it returns found=false if none exists. The witness extraction
+// decodes the extended word returned by the underlying containment check
+// into a document (choosing the smallest byte of each atom).
+func CounterExample(a, b *Automaton, limit int) (doc string, found bool, err error) {
+	b2, err := alignVars(a, b)
+	if err != nil {
+		return "", false, err
+	}
+	tab := NewSymTab(a, b2)
+	na := a.WordNFA(tab)
+	nb := b2.WordNFA(tab)
+	var witness []int
+	var ok bool
+	if nb.IsDeterministic() {
+		ok, witness = automata.ContainsDet(na, nb)
+	} else {
+		ok, witness, err = automata.Contains(na, nb, limit)
+		if err != nil {
+			return "", false, err
+		}
+	}
+	if ok {
+		return "", false, nil
+	}
+	var buf []byte
+	for _, sym := range witness {
+		if sym < len(tab.AtomsList) {
+			bch, _ := tab.AtomsList[sym].Min()
+			buf = append(buf, bch)
+		}
+	}
+	return string(buf), true, nil
+}

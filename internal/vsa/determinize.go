@@ -1,0 +1,131 @@
+package vsa
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/alphabet"
+	"repro/internal/automata"
+)
+
+// Determinize implements Proposition 4.4: every VSet-automaton has an
+// equivalent deterministic functional one. On the extended form this is a
+// subset construction over the extended alphabet of (operation set, byte)
+// pairs; the canonical ≺ order on operations is baked into OpSet, so the
+// result corresponds to a dfVSA in the paper's sense. The construction is
+// exponential in the worst case (determinization of NFAs already is);
+// limit bounds the number of subset states (≤ 0 means
+// automata.DefaultLimit) and ErrTooLarge is reported through the error.
+func (a *Automaton) Determinize(limit int) (*Automaton, error) {
+	if limit <= 0 {
+		limit = automata.DefaultLimit
+	}
+	out := NewAutomaton(a.Vars...)
+	key := func(set []int) string {
+		parts := make([]string, len(set))
+		for i, q := range set {
+			parts[i] = strconv.Itoa(q)
+		}
+		return strings.Join(parts, ",")
+	}
+	id := map[string]int{}
+	var sets [][]int
+	intern := func(set []int) (int, error) {
+		k := key(set)
+		if i, ok := id[k]; ok {
+			return i, nil
+		}
+		if len(id) >= limit {
+			return 0, automata.ErrTooLarge
+		}
+		var i int
+		if len(id) == 0 {
+			i = 0 // the start state created by NewAutomaton
+		} else {
+			i = out.AddState()
+		}
+		id[k] = i
+		sets = append(sets, set)
+		return i, nil
+	}
+	if _, err := intern([]int{a.Start}); err != nil {
+		return nil, err
+	}
+	for i := 0; i < len(sets); i++ {
+		set := sets[i]
+		// Finals: union over members.
+		for _, q := range set {
+			for _, f := range a.States[q].Finals {
+				out.AddFinal(i, f)
+			}
+		}
+		// Group edges by operation set, then split byte classes into atoms.
+		byOps := map[OpSet][]Edge{}
+		var opsList []OpSet
+		for _, q := range set {
+			for _, e := range a.States[q].Edges {
+				if _, ok := byOps[e.Ops]; !ok {
+					opsList = append(opsList, e.Ops)
+				}
+				byOps[e.Ops] = append(byOps[e.Ops], e)
+			}
+		}
+		sort.Slice(opsList, func(x, y int) bool { return opsList[x] < opsList[y] })
+		for _, ops := range opsList {
+			es := byOps[ops]
+			classes := make([]alphabet.Class, len(es))
+			for j, e := range es {
+				classes[j] = e.Class
+			}
+			for _, atom := range alphabet.Atoms(classes) {
+				targets := map[int]bool{}
+				for _, e := range es {
+					if e.Class.ContainsClass(atom) {
+						targets[e.To] = true
+					}
+				}
+				if len(targets) == 0 {
+					continue
+				}
+				tset := make([]int, 0, len(targets))
+				for q := range targets {
+					tset = append(tset, q)
+				}
+				sort.Ints(tset)
+				to, err := intern(tset)
+				if err != nil {
+					return nil, err
+				}
+				out.AddEdge(i, ops, atom, to)
+			}
+		}
+	}
+	return out, nil
+}
+
+// MergeEdges coalesces parallel transitions that differ only in byte class
+// into a single class-union transition, shrinking automata produced by
+// atom-splitting constructions. The language is unchanged.
+func (a *Automaton) MergeEdges() {
+	for q := range a.States {
+		type k struct {
+			ops OpSet
+			to  int
+		}
+		merged := map[k]alphabet.Class{}
+		var order []k
+		for _, e := range a.States[q].Edges {
+			kk := k{e.Ops, e.To}
+			if _, ok := merged[kk]; !ok {
+				order = append(order, kk)
+			}
+			merged[kk] = merged[kk].Union(e.Class)
+		}
+		es := make([]Edge, 0, len(order))
+		for _, kk := range order {
+			es = append(es, Edge{kk.ops, merged[kk], kk.to})
+		}
+		a.States[q].Edges = es
+	}
+}

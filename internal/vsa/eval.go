@@ -1,0 +1,259 @@
+package vsa
+
+import (
+	"encoding/binary"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/alphabet"
+	"repro/internal/span"
+)
+
+// partial is an in-progress variable assignment during evaluation:
+// two int32 slots per variable (open position, close position), 0 = unset.
+// Positions are the paper's 1-based span endpoints.
+type partial []int32
+
+func (p partial) key(buf []byte) string {
+	for i, v := range p {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
+	}
+	return string(buf)
+}
+
+func (p partial) apply(ops OpSet, boundary int, numVars int) partial {
+	if ops == 0 {
+		return p
+	}
+	out := make(partial, len(p))
+	copy(out, p)
+	for v := 0; v < numVars; v++ {
+		if ops.OpensVar(v) {
+			out[2*v] = int32(boundary + 1)
+		}
+		if ops.ClosesVar(v) {
+			out[2*v+1] = int32(boundary + 1)
+		}
+	}
+	return out
+}
+
+// suffixUniversality lazily computes, per state, whether every possible
+// suffix is accepted from that state without further variable operations.
+// When a completed assignment reaches such a state it can be emitted
+// immediately and dropped, which keeps evaluation linear for the common
+// "prefix · extraction · Σ*" spanner shape instead of carrying every
+// completed tuple to the end of the document. The automaton must not be
+// mutated after its first evaluation.
+func (a *Automaton) suffixUniversality() []bool {
+	a.suffixOnce.Do(func() {
+		a.suffixUni = a.computeSuffixUniversality()
+	})
+	return a.suffixUni
+}
+
+func (a *Automaton) computeSuffixUniversality() []bool {
+	// The zero-ops sub-NFA: per state, edges with no variable operations;
+	// finals are states accepting with the empty final set.
+	finals := make([]bool, len(a.States))
+	for q, st := range a.States {
+		for _, f := range st.Finals {
+			if f == 0 {
+				finals[q] = true
+			}
+		}
+	}
+	key := func(set []int) string {
+		parts := make([]string, len(set))
+		for i, q := range set {
+			parts[i] = strconv.Itoa(q)
+		}
+		return strings.Join(parts, ",")
+	}
+	type expansion struct {
+		good  bool
+		succs [][]int
+	}
+	cache := map[string]*expansion{}
+	expand := func(set []int) *expansion {
+		k := key(set)
+		if e, ok := cache[k]; ok {
+			return e
+		}
+		e := &expansion{}
+		var classes []alphabet.Class
+		var union alphabet.Class
+		hasFinal := false
+		for _, q := range set {
+			if finals[q] {
+				hasFinal = true
+			}
+			for _, ed := range a.States[q].Edges {
+				if ed.Ops == 0 {
+					classes = append(classes, ed.Class)
+					union = union.Union(ed.Class)
+				}
+			}
+		}
+		// Locally good: accepting here, and able to consume any byte.
+		e.good = hasFinal && union == alphabet.Any
+		if e.good {
+			for _, atom := range alphabet.Atoms(classes) {
+				succ := map[int]bool{}
+				for _, q := range set {
+					for _, ed := range a.States[q].Edges {
+						if ed.Ops == 0 && ed.Class.ContainsClass(atom) {
+							succ[ed.To] = true
+						}
+					}
+				}
+				next := make([]int, 0, len(succ))
+				for q := range succ {
+					next = append(next, q)
+				}
+				sort.Ints(next)
+				e.succs = append(e.succs, next)
+			}
+		}
+		cache[k] = e
+		return e
+	}
+	const maxSets = 256 // exploration bound per state; exceeding it is sound (just slower)
+	out := make([]bool, len(a.States))
+	for q := range a.States {
+		seen := map[string]bool{}
+		queue := [][]int{{q}}
+		seen[key(queue[0])] = true
+		universal := true
+		for len(queue) > 0 && universal {
+			set := queue[0]
+			queue = queue[1:]
+			e := expand(set)
+			if !e.good {
+				universal = false
+				break
+			}
+			for _, succ := range e.succs {
+				k := key(succ)
+				if !seen[k] {
+					if len(seen) >= maxSets {
+						universal = false
+						break
+					}
+					seen[k] = true
+					queue = append(queue, succ)
+				}
+			}
+		}
+		out[q] = universal
+	}
+	return out
+}
+
+// Eval computes the span relation ⟦a⟧(d). Evaluation is a forward dynamic
+// program over document boundaries keeping, per state, the set of distinct
+// in-progress variable assignments; completed assignments become tuples.
+// Assignments that are complete and sit in a suffix-universal state are
+// emitted immediately, so the running time is output-sensitive: linear in
+// |d| times the number of live (state, assignment) pairs per position.
+func (a *Automaton) Eval(doc string) *span.Relation {
+	nv := len(a.Vars)
+	rel := span.NewRelation(a.Vars...)
+	type cell struct {
+		state int
+		p     partial
+	}
+	keyBuf := make([]byte, 4+8*nv)
+	cellKey := func(c cell) string {
+		binary.LittleEndian.PutUint32(keyBuf, uint32(c.state))
+		for i, v := range c.p {
+			binary.LittleEndian.PutUint32(keyBuf[4+4*i:], uint32(v))
+		}
+		return string(keyBuf)
+	}
+	uni := a.suffixUniversality()
+	emitted := map[string]bool{}
+	emitTuple := func(p partial) {
+		t := make(span.Tuple, nv)
+		for v := 0; v < nv; v++ {
+			t[v] = span.Span{Start: int(p[2*v]), End: int(p[2*v+1])}
+		}
+		k := t.Key()
+		if !emitted[k] {
+			emitted[k] = true
+			rel.Tuples = append(rel.Tuples, t)
+		}
+	}
+	complete := func(p partial) bool {
+		for _, v := range p {
+			if v == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	cur := map[string]cell{}
+	place := func(c cell, dst map[string]cell) {
+		if uni[c.state] && complete(c.p) {
+			emitTuple(c.p)
+			return
+		}
+		dst[cellKey(c)] = c
+	}
+	place(cell{a.Start, make(partial, 2*nv)}, cur)
+	emit := func(c cell, boundary int) {
+		for _, f := range a.States[c.state].Finals {
+			emitTuple(c.p.apply(f, boundary, nv))
+		}
+	}
+	for pos := 0; pos < len(doc); pos++ {
+		b := doc[pos]
+		next := make(map[string]cell, len(cur))
+		for _, c := range cur {
+			for _, e := range a.States[c.state].Edges {
+				if !e.Class.Has(b) {
+					continue
+				}
+				place(cell{e.To, c.p.apply(e.Ops, pos, nv)}, next)
+			}
+		}
+		cur = next
+		if len(cur) == 0 {
+			break
+		}
+	}
+	for _, c := range cur {
+		emit(c, len(doc))
+	}
+	rel.Dedupe()
+	return rel
+}
+
+// EvalBool reports whether the Boolean (0-ary) semantics of a accepts the
+// document, i.e. whether ⟦a⟧(d) is nonempty. It avoids tuple bookkeeping
+// and runs a plain state-set simulation.
+func (a *Automaton) EvalBool(doc string) bool {
+	cur := map[int]bool{a.Start: true}
+	for pos := 0; pos < len(doc); pos++ {
+		b := doc[pos]
+		next := map[int]bool{}
+		for q := range cur {
+			for _, e := range a.States[q].Edges {
+				if e.Class.Has(b) {
+					next[e.To] = true
+				}
+			}
+		}
+		cur = next
+		if len(cur) == 0 {
+			return false
+		}
+	}
+	for q := range cur {
+		if len(a.States[q].Finals) > 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,64 @@
+package vsa
+
+// IsFunctional reports whether every accepting run of the raw automaton
+// generates a valid ref-word (Section 4.2): each variable is opened
+// exactly once and closed exactly once afterwards. A run is invalid as
+// soon as any single variable is misused, so the test decomposes per
+// variable: for each v, search for an accepting run that opens v twice,
+// closes it while not open, or finishes with v unopened or unclosed. Each
+// per-variable search is a reachability question over (state, status∪bad)
+// pairs, giving O(|Vars| · |A|) time overall.
+func (r *Raw) IsFunctional() bool {
+	for v := range r.Vars {
+		if !r.variableAlwaysValid(v) {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Raw) variableAlwaysValid(v int) bool {
+	const bad = 3 // status code for "already misused"
+	type node struct {
+		q  int
+		st int // 0 unseen, 1 open, 2 closed, 3 misused
+	}
+	seen := map[node]bool{}
+	stack := []node{{r.Start, statusUnseen}}
+	seen[stack[0]] = true
+	open, close := Open(v), Close(v)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if r.Final[n.q] && n.st != statusClosed {
+			// Accepting with v unopened, still open, or misused: some
+			// ref-word in R(r) is invalid for v.
+			return false
+		}
+		for _, e := range r.Adj[n.q] {
+			st := n.st
+			if e.Kind == LabelOp && e.Op == open {
+				if st == statusUnseen {
+					st = statusOpen
+				} else {
+					st = bad
+				}
+			} else if e.Kind == LabelOp && e.Op == close {
+				if st == statusOpen {
+					st = statusClosed
+				} else {
+					st = bad
+				}
+			}
+			if e.Kind == LabelSymbol && e.Class.IsEmpty() {
+				continue
+			}
+			nn := node{e.To, st}
+			if !seen[nn] {
+				seen[nn] = true
+				stack = append(stack, nn)
+			}
+		}
+	}
+	return true
+}

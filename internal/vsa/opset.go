@@ -1,0 +1,163 @@
+// Package vsa implements variable-set automata (VSet-automata), the main
+// machine model for regular document spanners (Fagin et al.; Section 4.2 of
+// the paper). Two representations are provided:
+//
+//   - Raw: the textbook VSet-automaton — an ε-NFA whose edges are labeled
+//     with byte classes or with single variable operations x⊢ / ⊣x.
+//   - Automaton: the extended, functional form (eVSA) in which every edge
+//     carries a canonically ordered *set* of variable operations followed
+//     by a byte class, and acceptance carries a final operation set. This
+//     is the determinism-friendly representation of Florenzano et al. that
+//     the paper's deterministic VSet-automata mirror (footnote 7): a
+//     deterministic functional eVSA corresponds exactly to a dfVSA whose
+//     adjacent variable operations are sorted by the fixed order ≺.
+//
+// Compile converts Raw to Automaton while enforcing functionality (only
+// valid ref-words survive), Determinize implements Proposition 4.4, Eval
+// implements ⟦A⟧(d), and Contained implements containment (Theorem 4.1 in
+// general and the Theorem 4.3 fast path when the right side is
+// deterministic).
+package vsa
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// MaxVars bounds the number of variables of one automaton; operation sets
+// and status vectors are packed into 64-bit words (2 bits per variable).
+const MaxVars = 32
+
+// OpSet is a set of variable operations performed together at one document
+// boundary, with the canonical total order ≺ being ascending bit index:
+// bit 2v is "open variable v" (v⊢) and bit 2v+1 is "close variable v" (⊣v).
+// This order satisfies the paper's requirement v⊢ ≺ ⊣v for every v.
+type OpSet uint64
+
+// Open returns the operation set {v⊢}.
+func Open(v int) OpSet { return 1 << (2 * uint(v)) }
+
+// Close returns the operation set {⊣v}.
+func Close(v int) OpSet { return 1 << (2*uint(v) + 1) }
+
+// Wrap returns {v⊢, ⊣v}, opening and closing v at the same boundary
+// (an empty span).
+func Wrap(v int) OpSet { return Open(v) | Close(v) }
+
+// AllOps returns the complete operation set over n variables, i.e. the
+// single-boundary batch that assigns every variable an empty span.
+func AllOps(n int) OpSet {
+	if n == 0 {
+		return 0
+	}
+	return OpSet(1)<<(2*uint(n)) - 1
+}
+
+// Has reports whether every operation of o occurs in s.
+func (s OpSet) Has(o OpSet) bool { return s&o == o }
+
+// IsEmpty reports whether the set contains no operations.
+func (s OpSet) IsEmpty() bool { return s == 0 }
+
+// Count returns the number of operations in the set.
+func (s OpSet) Count() int { return bits.OnesCount64(uint64(s)) }
+
+// OpensVar reports whether s contains v⊢.
+func (s OpSet) OpensVar(v int) bool { return s&Open(v) != 0 }
+
+// ClosesVar reports whether s contains ⊣v.
+func (s OpSet) ClosesVar(v int) bool { return s&Close(v) != 0 }
+
+// String renders the operation set in ref-word notation using variable
+// indices, e.g. "x0⊢ ⊣x0 x1⊢".
+func (s OpSet) String() string {
+	if s == 0 {
+		return "∅"
+	}
+	var parts []string
+	for v := 0; v < MaxVars; v++ {
+		if s.OpensVar(v) {
+			parts = append(parts, fmt.Sprintf("x%d⊢", v))
+		}
+		if s.ClosesVar(v) {
+			parts = append(parts, fmt.Sprintf("⊣x%d", v))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// Status is a packed vector of per-variable statuses: 2 bits per variable
+// with 0 = not yet opened, 1 = open, 2 = closed.
+type Status uint64
+
+// StatusClosed is the per-variable "closed" code.
+const (
+	statusUnseen = 0
+	statusOpen   = 1
+	statusClosed = 2
+)
+
+// VarStatus returns the status code of variable v.
+func (st Status) VarStatus(v int) int { return int(st>>(2*uint(v))) & 3 }
+
+// AllClosed returns the status in which all n variables are closed.
+func AllClosed(n int) Status {
+	var st Status
+	for v := 0; v < n; v++ {
+		st |= Status(statusClosed) << (2 * uint(v))
+	}
+	return st
+}
+
+// Apply performs the operations of o (in canonical order) on st. ok is
+// false if some operation is invalid (opening a non-fresh variable or
+// closing a non-open one); in that case the resulting ref-word would be
+// invalid and the transition must be discarded.
+func (st Status) Apply(o OpSet) (Status, bool) {
+	for v := 0; o != 0; v++ {
+		mask := OpSet(3) << (2 * uint(v))
+		ops := o & mask
+		if ops == 0 {
+			continue
+		}
+		o &^= mask
+		cur := st.VarStatus(v)
+		if ops.OpensVar(v) {
+			if cur != statusUnseen {
+				return 0, false
+			}
+			cur = statusOpen
+		}
+		if ops.ClosesVar(v) {
+			if cur != statusOpen {
+				return 0, false
+			}
+			cur = statusClosed
+		}
+		st = st&^(Status(3)<<(2*uint(v))) | Status(cur)<<(2*uint(v))
+	}
+	return st, true
+}
+
+// Diff returns the operation set that transforms status st into status cur.
+// It panics if cur is not reachable from st by a single batch of
+// operations (a status can only move forward).
+func (st Status) Diff(cur Status, numVars int) OpSet {
+	var o OpSet
+	for v := 0; v < numVars; v++ {
+		a, b := st.VarStatus(v), cur.VarStatus(v)
+		switch {
+		case a == b:
+		case a == statusUnseen && b == statusOpen:
+			o |= Open(v)
+		case a == statusUnseen && b == statusClosed:
+			o |= Wrap(v)
+		case a == statusOpen && b == statusClosed:
+			o |= Close(v)
+		default:
+			panic(fmt.Sprintf("vsa: status cannot move from %d to %d for variable %d", a, b, v))
+		}
+	}
+	return o
+}

@@ -1,0 +1,299 @@
+package vsa_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/regexformula"
+	"repro/internal/vsa"
+)
+
+// The pipeline tests exercise regexformula → Raw → Compile → Automaton and
+// compare every stage against the naive reference evaluator. They live in
+// package vsa_test to avoid an import cycle.
+
+// docs enumerates all documents over sigma up to maxLen.
+func docs(sigma string, maxLen int) []string {
+	out := []string{""}
+	frontier := []string{""}
+	for l := 0; l < maxLen; l++ {
+		var next []string
+		for _, d := range frontier {
+			for i := 0; i < len(sigma); i++ {
+				next = append(next, d+string(sigma[i]))
+			}
+		}
+		out = append(out, next...)
+		frontier = next
+	}
+	return out
+}
+
+var pipelineFormulas = []string{
+	"x{a}",
+	".*x{a}.*",
+	"a(x{b})b",
+	"x{ab}b|a(x{bb})",   // Example 5.8's splitter
+	"ab(y{b})|c(y{b})b", // Example 5.13's spanner
+	"x{a*}",
+	"x{a}y{b}",
+	".*x{a.*}y{b}.*",
+	"(a|b)*x{ab+}(a|b)*",
+	"x{(ab)*}",
+	"a?x{.*}",
+	"x{.}y{.}|y{.}x{.}",
+	"x{a|ab}b*",
+	"x{}a",    // empty capture before a
+	"a(x{})",  // empty capture at end
+	"x{y{a}}", // nested captures
+}
+
+func TestCompiledMatchesNaive(t *testing.T) {
+	for _, src := range pipelineFormulas {
+		node := regexformula.MustParse(src)
+		auto := regexformula.CompileRaw(node).Compile()
+		if err := auto.Validate(); err != nil {
+			t.Fatalf("%s: compiled automaton invalid: %v", src, err)
+		}
+		for _, d := range docs("ab", 5) {
+			want := regexformula.EvalNaive(node, d)
+			got := auto.Eval(d)
+			// Align columns: naive uses first-occurrence order, as does Vars.
+			aligned, err := got.Project(want.Vars)
+			if err != nil {
+				t.Fatalf("%s: %v", src, err)
+			}
+			if !aligned.Equal(want) {
+				t.Fatalf("%s on %q: automaton %v, naive %v", src, d, aligned, want)
+			}
+		}
+	}
+}
+
+func TestDeterminizePreservesSemantics(t *testing.T) {
+	for _, src := range pipelineFormulas {
+		auto := regexformula.MustCompile(src)
+		det, err := auto.Determinize(0)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if !det.IsDeterministic() {
+			t.Fatalf("%s: Determinize output is not deterministic", src)
+		}
+		if err := det.Validate(); err != nil {
+			t.Fatalf("%s: determinized automaton invalid: %v", src, err)
+		}
+		for _, d := range docs("ab", 5) {
+			if !auto.Eval(d).Equal(det.Eval(d)) {
+				t.Fatalf("%s: determinization changed semantics on %q", src, d)
+			}
+		}
+	}
+}
+
+func TestToRawRoundTrip(t *testing.T) {
+	for _, src := range pipelineFormulas {
+		auto := regexformula.MustCompile(src)
+		back := auto.ToRaw().Compile()
+		for _, d := range docs("ab", 4) {
+			if !auto.Eval(d).Equal(back.Eval(d)) {
+				t.Fatalf("%s: ToRaw round trip changed semantics on %q", src, d)
+			}
+		}
+	}
+}
+
+func TestContainedAgainstBruteForce(t *testing.T) {
+	pairs := []struct {
+		a, b string
+		want bool
+	}{
+		{"x{a}", "x{a}|x{b}", true},
+		{"x{a}|x{b}", "x{a}", false},
+		{"a(x{b})", ".*x{b}", true},
+		{".*x{b}", "a(x{b})", false},
+		{"x{ab}", "x{a.}", true},
+		{"x{a.}", "x{ab}", false},
+		{"x{a}y{b}", "x{a}y{.}", true},
+		{"x{a}y{b}", "y{b}x{a}", false}, // different documents: ab vs ba
+		{"x{(ab)*}", "x{(ab)*(ab)*}", true},
+		{"x{a+}", "x{a*}", true},
+		{"x{a*}", "x{a+}", false},
+	}
+	for _, p := range pairs {
+		a := regexformula.MustCompile(p.a)
+		b := regexformula.MustCompile(p.b)
+		got, err := vsa.Contained(a, b, 0)
+		if err != nil {
+			t.Fatalf("%s ⊆ %s: %v", p.a, p.b, err)
+		}
+		if got != p.want {
+			t.Fatalf("Contained(%s, %s) = %v, want %v", p.a, p.b, got, p.want)
+		}
+		// Cross-check with evaluation on small documents.
+		for _, d := range docs("ab", 5) {
+			ra := a.Eval(d)
+			rb := b.Eval(d)
+			rbAligned, err := rb.Project(ra.Vars)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tp := range ra.Tuples {
+				if p.want && !rbAligned.Has(tp) {
+					t.Fatalf("Contained said yes but %s(%q) ∋ %v ∉ %s(%q)", p.a, d, tp, p.b, d)
+				}
+			}
+		}
+	}
+}
+
+func TestContainedFastPathAgreesWithGeneral(t *testing.T) {
+	formulas := []string{"x{a}", ".*x{a}.*", "x{ab}b|a(x{bb})", "x{a|ab}b*"}
+	for _, fa := range formulas {
+		for _, fb := range formulas {
+			a := regexformula.MustCompile(fa)
+			b := regexformula.MustCompile(fb)
+			general, err := vsa.Contained(a, b, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			db, err := b.Determinize(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast, err := vsa.Contained(a, db, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if general != fast {
+				t.Fatalf("fast path disagrees on %s ⊆ %s: %v vs %v", fa, fb, general, fast)
+			}
+		}
+	}
+}
+
+func TestCounterExample(t *testing.T) {
+	a := regexformula.MustCompile(".*x{b}")
+	b := regexformula.MustCompile("a(x{b})")
+	doc, found, err := vsa.CounterExample(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("expected a counterexample")
+	}
+	ra := a.Eval(doc)
+	rb := b.Eval(doc)
+	same := true
+	for _, tp := range ra.Tuples {
+		if !rb.Has(tp) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("counterexample %q does not separate the spanners", doc)
+	}
+}
+
+func TestEquivalentReflexiveOnRandomFormulas(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 30; i++ {
+		src := randomFormula(rng, 3)
+		a, err := regexformula.Compile(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		eq, err := vsa.Equivalent(a, a.Clone(), 0)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if !eq {
+			t.Fatalf("%s: automaton not equivalent to itself", src)
+		}
+	}
+}
+
+// randomFormula generates a random variable-free or single-variable
+// formula for smoke testing.
+func randomFormula(rng *rand.Rand, depth int) string {
+	if depth == 0 {
+		return string(rune('a' + rng.Intn(2)))
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return randomFormula(rng, depth-1) + randomFormula(rng, depth-1)
+	case 1:
+		return "(" + randomFormula(rng, depth-1) + "|" + randomFormula(rng, depth-1) + ")"
+	case 2:
+		return "(" + randomFormula(rng, depth-1) + ")*"
+	case 3:
+		inner := randomFormula(rng, depth-1)
+		if !strings.Contains(inner, "{") {
+			return "v" + "{" + inner + "}"
+		}
+		return inner
+	default:
+		return string(rune('a' + rng.Intn(2)))
+	}
+}
+
+func TestWeakDeterminism(t *testing.T) {
+	// The Theorem 4.2 construction x1{x2{Σ*}} is weakly deterministic
+	// when built by hand without ε-edges.
+	raw := vsa.NewRaw("x1", "x2")
+	s1 := raw.AddState(false)
+	s2 := raw.AddState(false)
+	s3 := raw.AddState(true)
+	raw.AddOpEdge(raw.Start, vsa.Open(0), s1)
+	raw.AddOpEdge(s1, vsa.Open(1), s2)
+	raw.AddOpEdge(s2, vsa.Close(1), s3)
+	// Loop on Σ inside, close at the end: simplified variant.
+	if !raw.IsWeaklyDeterministic() {
+		t.Fatal("chain of distinct ops must be weakly deterministic")
+	}
+	raw.AddOpEdge(s1, vsa.Open(1), s3) // second x2⊢ edge to a different state
+	if raw.IsWeaklyDeterministic() {
+		t.Fatal("duplicate op edge to different states must break weak determinism")
+	}
+}
+
+func TestIsFunctional(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"x{a}", true},
+		{"(x{a})*", false},  // zero or many bindings
+		{"x{a}|b", false},   // right branch never binds x
+		{"x{a}|x{b}", true}, // both branches bind x once
+		{"x{a}x{b}", false}, // double binding
+		{"x{a*}", true},
+		{"x{a}y{b}|y{a}x{b}", true},
+	}
+	for _, c := range cases {
+		n := regexformula.MustParse(c.src)
+		if got := regexformula.IsFunctional(n); got != c.want {
+			t.Errorf("IsFunctional(%s) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+// TestContainedAlignsVarOrder checks that containment is insensitive to the
+// order in which the two automata list their variables.
+func TestContainedAlignsVarOrder(t *testing.T) {
+	a := regexformula.MustCompile("x{a}y{b}")
+	b, err := a.ReorderVars([]string{"y", "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]*vsa.Automaton{{a, b}, {b, a}} {
+		ok, err := vsa.Contained(pair[0], pair[1], 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatal("reordered automaton must contain the original")
+		}
+	}
+}
