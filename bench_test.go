@@ -8,6 +8,7 @@ package spanners
 // runs the same experiments at larger scale.
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -217,4 +218,80 @@ func BenchmarkEvalThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		p.Eval(doc)
 	}
+}
+
+// Formula-level counterparts of the library extractors, used by the
+// engine benchmarks (the engine's plan cache is keyed by formula text).
+const (
+	benchSentimentFormula = "(.*[ .!?\\n])?bad (y{[a-z]+})(([^a-z].*)?|)"
+	benchSentenceFormula  = "(x{[^.!?\\n]*})([.!?\\n][^.!?\\n]*)*|" +
+		"[^.!?\\n]*([.!?\\n][^.!?\\n]*)*[.!?\\n](x{[^.!?\\n]*})([.!?\\n][^.!?\\n]*)*"
+)
+
+// BenchmarkEnginePlanCache measures what the plan cache amortizes: Cold
+// pays formula compilation plus the self-splittability and disjointness
+// decision procedures on every iteration; Hit serves the memoized plan.
+// The gap is the per-request saving of a long-lived engine over the
+// one-shot façade calls.
+func BenchmarkEnginePlanCache(b *testing.B) {
+	req := ExtractRequest{Spanner: benchSentimentFormula, Splitter: benchSentenceFormula}
+	ctx := context.Background()
+	b.Run("Cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := NewEngine(EngineConfig{})
+			if _, _, err := e.Plan(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Hit", func(b *testing.B) {
+		e := NewEngine(EngineConfig{})
+		plan, _, err := e.Plan(ctx, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if plan.Strategy.String() != "split-parallel" {
+			b.Fatalf("expected a split plan, got %v", plan.Strategy)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, hit, err := e.Plan(ctx, req); err != nil || !hit {
+				b.Fatalf("hit=%v err=%v", hit, err)
+			}
+		}
+	})
+}
+
+// BenchmarkEngineStreaming compares streamed chunked ingestion (the
+// engine segments the document incrementally and overlaps evaluation
+// with reading) against one-shot ParallelEval on the same multi-MB
+// document, on the same worker count.
+func BenchmarkEngineStreaming(b *testing.B) {
+	doc := corpus.Reviews(1, 1<<13) // ~ several MB of review text
+	joined := strings.Join(doc, "\n")
+	ctx := context.Background()
+	b.Logf("document size: %d bytes", len(joined))
+	b.Run("OneShotParallelEval", func(b *testing.B) {
+		p := MustCompile(benchSentimentFormula)
+		s := MustCompileSplitter(benchSentenceFormula)
+		b.SetBytes(int64(len(joined)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ParallelEval(p, s, joined, benchWorkers)
+		}
+	})
+	b.Run("Streamed", func(b *testing.B) {
+		e := NewEngine(EngineConfig{Workers: benchWorkers})
+		plan, _, err := e.Plan(ctx, ExtractRequest{Spanner: benchSentimentFormula, Splitter: benchSentenceFormula})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(joined)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.ExtractReader(ctx, plan, strings.NewReader(joined)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

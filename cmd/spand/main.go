@@ -1,0 +1,92 @@
+// Command spand is the spanner serving daemon: a long-lived HTTP server
+// around the streaming extraction engine of internal/engine. It turns
+// the paper's offline pipeline — decide split-correctness once, then
+// distribute extraction over segments — into an online service:
+//
+//	POST /v1/extract   extract a relation from a document. The document
+//	                   may be inline JSON, a raw request body, or a
+//	                   streamed multipart part; split-correct plans are
+//	                   evaluated segment-parallel while the document is
+//	                   still uploading.
+//	POST /v1/check     split-correctness / self-splittability /
+//	                   disjointness verdicts for a formula pair, served
+//	                   from the plan cache.
+//	GET  /v1/stats     cache hit rate, throughput and pool utilization.
+//
+// Example:
+//
+//	spand -addr :8080 &
+//	curl -s localhost:8080/v1/extract -H 'Content-Type: application/json' \
+//	  -d '{"spanner":"(.*[^a-z0-9])?(y{[a-z0-9]+@[a-z0-9]+})([^a-z0-9].*)?",
+//	       "splitter":"(x{[^.!?\\n]*})([.!?\\n][^.!?\\n]*)*|[^.!?\\n]*([.!?\\n][^.!?\\n]*)*[.!?\\n](x{[^.!?\\n]*})([.!?\\n][^.!?\\n]*)*",
+//	       "doc":"mail ann@example. or bob@host!"}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "evaluation workers (0 = GOMAXPROCS)")
+		batch     = flag.Int("batch", 16, "segments per worker task")
+		cacheSize = flag.Int("cache", 128, "plan cache capacity")
+		chunk     = flag.Int("chunk", 64<<10, "streaming read size in bytes")
+		limit     = flag.Int("limit", 0, "decision-procedure state limit (0 = library default)")
+		timeout   = flag.Duration("timeout", 0, "per-request timeout (0 = none)")
+		bufferAll = flag.Bool("buffer-all", false, "buffer streamed documents whole instead of segmenting incrementally (required for exactness with non-local splitters)")
+		maxDoc    = flag.Int64("max-doc", 0, "per-document memory budget in bytes (0 = 256 MiB, negative = unlimited)")
+	)
+	flag.Parse()
+
+	eng := engine.New(engine.Config{
+		PlanCache:    *cacheSize,
+		Workers:      *workers,
+		Batch:        *batch,
+		ChunkSize:    *chunk,
+		StateLimit:   *limit,
+		BufferAll:    *bufferAll,
+		MaxDocBuffer: *maxDoc,
+	})
+	handler := newServer(eng)
+	if *timeout > 0 {
+		handler = http.TimeoutHandler(handler, *timeout, `{"error":"request timed out"}`)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	go func() {
+		log.Printf("spand: listening on %s (workers=%d batch=%d cache=%d)",
+			*addr, eng.Stats().Workers, *batch, *cacheSize)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("spand: %v", err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Print("spand: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("spand: shutdown: %v", err)
+	}
+	st := eng.Stats()
+	log.Printf("spand: served %d documents, %d bytes, %d segments; cache hit rate %.2f",
+		st.Documents, st.Bytes, st.Segments, st.PlanCache.HitRate)
+}

@@ -1,0 +1,251 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/span"
+)
+
+// maxJSONBody bounds JSON request bodies. Streamed documents (raw or
+// multipart bodies) may be arbitrarily long on the incremental path;
+// whatever the engine must hold in memory (whole buffered documents,
+// the streaming carry-over) is bounded by its MaxDocBuffer budget and
+// rejected with 413 beyond it.
+const maxJSONBody = 64 << 20
+
+// extractRequest is the JSON request body of /v1/extract and /v1/check.
+type extractRequest struct {
+	Spanner      string `json:"spanner"`
+	SplitSpanner string `json:"split_spanner,omitempty"`
+	Splitter     string `json:"splitter,omitempty"`
+	Doc          string `json:"doc,omitempty"`
+}
+
+func (r extractRequest) engineRequest() engine.Request {
+	return engine.Request{Spanner: r.Spanner, SplitSpanner: r.SplitSpanner, Splitter: r.Splitter}
+}
+
+// jsonSpan renders a span as [start, end] in the paper's 1-based
+// convention.
+type jsonSpan [2]int
+
+// planResponse is the shared verdict section of responses.
+type planResponse struct {
+	Strategy      string            `json:"strategy"`
+	Verdicts      core.PlanVerdicts `json:"verdicts"`
+	CacheHit      bool              `json:"cache_hit"`
+	PlanCompileMS float64           `json:"plan_compile_ms"`
+}
+
+type extractResponse struct {
+	planResponse
+	// Ingest reports how the document was consumed: "inline" (came with
+	// the JSON request), "streamed" (segmented incrementally while
+	// uploading) or "buffered" (read whole, then evaluated).
+	Ingest string       `json:"ingest"`
+	Vars   []string     `json:"vars"`
+	Count  int          `json:"count"`
+	Tuples [][]jsonSpan `json:"tuples"`
+}
+
+func planSection(plan *engine.Plan, hit bool) planResponse {
+	return planResponse{
+		Strategy:      plan.Strategy.String(),
+		Verdicts:      plan.Verdicts,
+		CacheHit:      hit,
+		PlanCompileMS: float64(plan.CompileTime.Microseconds()) / 1000,
+	}
+}
+
+func tuplesJSON(rel *span.Relation) [][]jsonSpan {
+	out := make([][]jsonSpan, 0, rel.Len())
+	for _, t := range rel.Tuples {
+		row := make([]jsonSpan, len(t))
+		for i, s := range t {
+			row[i] = jsonSpan{s.Start, s.End}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+type server struct {
+	eng *engine.Engine
+}
+
+// newServer wires the daemon's routes onto a fresh mux.
+func newServer(eng *engine.Engine) http.Handler {
+	s := &server{eng: eng}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/extract", s.handleExtract)
+	mux.HandleFunc("POST /v1/check", s.handleCheck)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// handleExtract serves POST /v1/extract. Three request shapes:
+//
+//   - application/json: {"spanner", "splitter", "split_spanner", "doc"}
+//     with the document inline.
+//   - multipart/form-data: fields spanner/splitter/split_spanner followed
+//     by a "doc" part, which is streamed — the part is fed to the engine
+//     chunk by chunk, so arbitrarily large documents never reside in
+//     memory whole.
+//   - anything else: the body is the document stream and the formulas
+//     come from the query parameters ?spanner=…&splitter=…&split_spanner=….
+func (s *server) handleExtract(w http.ResponseWriter, r *http.Request) {
+	ctype, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	switch ctype {
+	case "application/json":
+		var req extractRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, maxJSONBody)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+			return
+		}
+		// The document is already in memory; evaluate it directly
+		// instead of paying the chunked-ingestion machinery.
+		s.runExtract(w, r, req.engineRequest(), "inline",
+			func(plan *engine.Plan) (*span.Relation, error) {
+				return s.eng.Extract(r.Context(), plan, req.Doc)
+			})
+	case "multipart/form-data":
+		mr, err := r.MultipartReader()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		var req engine.Request
+		for {
+			part, err := mr.NextPart()
+			if err == io.EOF {
+				writeError(w, http.StatusBadRequest, errors.New(`multipart body has no "doc" part`))
+				return
+			}
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			if part.FormName() == "doc" {
+				// Formula fields must precede the doc part so the plan
+				// exists before streaming begins.
+				s.extract(w, r, req, part)
+				return
+			}
+			const maxFormula = 1 << 20
+			val, err := io.ReadAll(io.LimitReader(part, maxFormula+1))
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			if len(val) > maxFormula {
+				writeError(w, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("multipart field %q exceeds %d bytes", part.FormName(), maxFormula))
+				return
+			}
+			switch part.FormName() {
+			case "spanner":
+				req.Spanner = string(val)
+			case "splitter":
+				req.Splitter = string(val)
+			case "split_spanner":
+				req.SplitSpanner = string(val)
+			}
+		}
+	default:
+		q := r.URL.Query()
+		req := engine.Request{
+			Spanner:      q.Get("spanner"),
+			Splitter:     q.Get("splitter"),
+			SplitSpanner: q.Get("split_spanner"),
+		}
+		s.extract(w, r, req, r.Body)
+	}
+}
+
+// extract serves a document arriving as a stream (raw body or multipart
+// part).
+func (s *server) extract(w http.ResponseWriter, r *http.Request, req engine.Request, doc io.Reader) {
+	s.runExtract(w, r, req, "",
+		func(plan *engine.Plan) (*span.Relation, error) {
+			return s.eng.ExtractReader(r.Context(), plan, doc)
+		})
+}
+
+func (s *server) runExtract(w http.ResponseWriter, r *http.Request, req engine.Request, ingest string, run func(*engine.Plan) (*span.Relation, error)) {
+	plan, hit, err := s.eng.Plan(r.Context(), req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if ingest == "" {
+		if s.eng.WillStream(plan) {
+			ingest = "streamed"
+		} else {
+			ingest = "buffered"
+		}
+	}
+	rel, err := run(plan)
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			status = 499 // client closed request / timed out
+		case errors.Is(err, engine.ErrDocTooLarge):
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, extractResponse{
+		planResponse: planSection(plan, hit),
+		Ingest:       ingest,
+		Vars:         plan.Vars(),
+		Count:        rel.Len(),
+		Tuples:       tuplesJSON(rel),
+	})
+}
+
+// handleCheck serves POST /v1/check: it returns the plan's verdicts
+// (split-correctness / self-splittability / disjointness) without
+// evaluating anything. Verdicts are served from the plan cache, so
+// repeated and concurrent checks of the same pair run the PSPACE
+// procedures once.
+func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	var req extractRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxJSONBody)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+		return
+	}
+	plan, hit, err := s.eng.Plan(r.Context(), req.engineRequest())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, planSection(plan, hit))
+}
+
+// handleStats serves GET /v1/stats: cache hit rate, throughput counters
+// and worker configuration.
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.eng.Stats())
+}

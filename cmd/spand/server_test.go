@@ -1,0 +1,249 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	spanners "repro"
+	"repro/internal/engine"
+)
+
+const (
+	emailFormula    = `(.*[^a-z0-9])?(y{[a-z0-9]+@[a-z0-9]+})([^a-z0-9].*)?`
+	sentenceFormula = "(x{[^.!?\\n]*})([.!?\\n][^.!?\\n]*)*|" +
+		"[^.!?\\n]*([.!?\\n][^.!?\\n]*)*[.!?\\n](x{[^.!?\\n]*})([.!?\\n][^.!?\\n]*)*"
+	testDoc = "write ann@example today. then bob@corp tomorrow! finally eve@host."
+)
+
+type extractResult struct {
+	Strategy string `json:"strategy"`
+	Verdicts struct {
+		Disjoint       string `json:"disjoint"`
+		SelfSplittable string `json:"self_splittable"`
+		SplitCorrect   string `json:"split_correct"`
+	} `json:"verdicts"`
+	CacheHit bool       `json:"cache_hit"`
+	Vars     []string   `json:"vars"`
+	Count    int        `json:"count"`
+	Tuples   [][][2]int `json:"tuples"`
+}
+
+func startDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(newServer(engine.New(engine.Config{Workers: 4, Batch: 2, ChunkSize: 8})))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func decodeExtract(t *testing.T, resp *http.Response) extractResult {
+	t.Helper()
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out extractResult
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("bad response %s: %v", body, err)
+	}
+	return out
+}
+
+// oneShotTuples is the ground truth: the façade's ParallelEval on the
+// whole document.
+func oneShotTuples(t *testing.T) [][][2]int {
+	t.Helper()
+	p := spanners.MustCompile(emailFormula)
+	s := spanners.MustCompileSplitter(sentenceFormula)
+	rel := spanners.ParallelEval(p, s, testDoc, 4)
+	rel.Dedupe()
+	out := make([][][2]int, 0, rel.Len())
+	for _, tup := range rel.Tuples {
+		row := make([][2]int, len(tup))
+		for i, sp := range tup {
+			row[i] = [2]int{sp.Start, sp.End}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+func TestExtractJSONAndPlanCacheHit(t *testing.T) {
+	ts := startDaemon(t)
+	body, _ := json.Marshal(map[string]string{
+		"spanner": emailFormula, "splitter": sentenceFormula, "doc": testDoc,
+	})
+	post := func() extractResult {
+		resp, err := http.Post(ts.URL+"/v1/extract", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return decodeExtract(t, resp)
+	}
+	first := post()
+	if first.CacheHit {
+		t.Fatal("first request reported a cache hit")
+	}
+	if first.Strategy != "split-parallel" {
+		t.Fatalf("strategy = %q (verdicts %+v), want split-parallel", first.Strategy, first.Verdicts)
+	}
+	if want := oneShotTuples(t); !reflect.DeepEqual(first.Tuples, want) {
+		t.Fatalf("tuples = %v, want %v", first.Tuples, want)
+	}
+	second := post()
+	if !second.CacheHit {
+		t.Fatal("second identical request missed the plan cache")
+	}
+	if !reflect.DeepEqual(second.Tuples, first.Tuples) {
+		t.Fatal("cached plan changed the result")
+	}
+
+	// The hit must be observable via /v1/stats.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st engine.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.PlanCache.Hits < 1 || st.PlanCache.Misses != 1 {
+		t.Fatalf("stats = %+v, want ≥1 hit and exactly 1 miss", st.PlanCache)
+	}
+	if st.Documents != 2 || st.Segments == 0 {
+		t.Fatalf("stats = %+v, want 2 documents and some segments", st)
+	}
+}
+
+// slowChunks streams the document a few bytes per Read with no declared
+// length, forcing chunked transfer encoding and multi-chunk ingestion.
+type slowChunks struct {
+	s string
+	n int
+}
+
+func (r *slowChunks) Read(p []byte) (int, error) {
+	if len(r.s) == 0 {
+		return 0, io.EOF
+	}
+	n := r.n
+	if n > len(r.s) {
+		n = len(r.s)
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, r.s[:n])
+	r.s = r.s[n:]
+	return n, nil
+}
+
+func TestExtractStreamedBodyEqualsOneShot(t *testing.T) {
+	ts := startDaemon(t)
+	url := ts.URL + "/v1/extract?spanner=" + url.QueryEscape(emailFormula) + "&splitter=" + url.QueryEscape(sentenceFormula)
+	req, err := http.NewRequest("POST", url, &slowChunks{s: testDoc, n: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decodeExtract(t, resp)
+	if want := oneShotTuples(t); !reflect.DeepEqual(got.Tuples, want) {
+		t.Fatalf("streamed tuples = %v, want one-shot ParallelEval %v", got.Tuples, want)
+	}
+}
+
+func TestExtractMultipartStream(t *testing.T) {
+	ts := startDaemon(t)
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	mw.WriteField("spanner", emailFormula)
+	mw.WriteField("splitter", sentenceFormula)
+	fw, _ := mw.CreateFormFile("doc", "doc.txt")
+	io.Copy(fw, strings.NewReader(testDoc))
+	mw.Close()
+	resp, err := http.Post(ts.URL+"/v1/extract", mw.FormDataContentType(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decodeExtract(t, resp)
+	if want := oneShotTuples(t); !reflect.DeepEqual(got.Tuples, want) {
+		t.Fatalf("multipart tuples = %v, want %v", got.Tuples, want)
+	}
+}
+
+func TestCheckConcurrentSingleFlight(t *testing.T) {
+	eng := engine.New(engine.Config{Workers: 2})
+	ts := httptest.NewServer(newServer(eng))
+	defer ts.Close()
+	body, _ := json.Marshal(map[string]string{
+		"spanner": emailFormula, "splitter": sentenceFormula,
+	})
+	const n = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/check", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b, _ := io.ReadAll(resp.Body)
+				errs <- fmt.Errorf("status %d: %s", resp.StatusCode, b)
+				return
+			}
+			var out extractResult
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				errs <- err
+				return
+			}
+			if out.Verdicts.SelfSplittable != "yes" || out.Verdicts.Disjoint != "yes" {
+				errs <- fmt.Errorf("unexpected verdicts %+v", out.Verdicts)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := eng.Stats().PlanCache
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d: the decision procedures ran more than once", st.Misses)
+	}
+	if st.Hits+st.Coalesced != n-1 {
+		t.Fatalf("hits+coalesced = %d, want %d", st.Hits+st.Coalesced, n-1)
+	}
+}
+
+func TestExtractBadFormula(t *testing.T) {
+	ts := startDaemon(t)
+	body, _ := json.Marshal(map[string]string{"spanner": "y{[", "doc": "x"})
+	resp, err := http.Post(ts.URL+"/v1/extract", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}

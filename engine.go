@@ -1,0 +1,34 @@
+package spanners
+
+import (
+	"repro/internal/engine"
+)
+
+// Engine is a long-lived streaming extraction engine: it memoizes
+// compiled automata and split-correctness verdicts in a plan cache
+// (LRU + single-flight), streams documents chunk-by-chunk through the
+// splitter, and evaluates segments on a shared worker pool. Use it when
+// serving many extraction requests; the one-shot façade functions
+// (SplitCorrect, ParallelEval, ...) re-run the decision procedures every
+// call. See internal/engine and DESIGN.md for the architecture; cmd/spand
+// serves an Engine over HTTP.
+type Engine = engine.Engine
+
+// EngineConfig tunes an Engine; the zero value selects defaults
+// (GOMAXPROCS workers, 128-plan cache, 16-segment batches, 64 KiB
+// chunks).
+type EngineConfig = engine.Config
+
+// EngineStats is a monitoring snapshot of an Engine.
+type EngineStats = engine.Stats
+
+// ExtractRequest names an extraction plan by its formulas — the plan
+// cache key.
+type ExtractRequest = engine.Request
+
+// Plan is a compiled, verdict-annotated extraction plan produced by
+// Engine.Plan.
+type Plan = engine.Plan
+
+// NewEngine returns an engine with the given configuration.
+func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }

@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// CacheStats is a snapshot of plan-cache counters. Hits and Coalesced
+// both denote requests that did not compile: a hit found a completed
+// plan, a coalesced request joined an in-flight compilation of the same
+// key (the single-flight path). Misses counts actual compilations,
+// including ones that ended in an error (errors are not cached, so a
+// later request retries).
+type CacheStats struct {
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Coalesced uint64  `json:"coalesced"`
+	Evictions uint64  `json:"evictions"`
+	Size      int     `json:"size"`
+	Cap       int     `json:"cap"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// planCache is an LRU of compiled plans with single-flight deduplication:
+// concurrent gets of the same key run the build function exactly once,
+// with the late arrivals blocking on the in-flight entry instead of
+// re-running the decision procedures.
+type planCache struct {
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	hits      uint64
+	misses    uint64
+	coalesced uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key   string
+	ready chan struct{} // closed when plan/err are set
+	done  bool          // guarded by planCache.mu
+	plan  *Plan
+	err   error
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &planCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached plan for key, building it with build on a miss.
+// hit reports whether the plan came from the cache (including the
+// coalesced single-flight case). Build errors are propagated to every
+// waiter but not cached. A coalesced waiter whose own ctx is cancelled
+// stops waiting and returns its ctx error; the in-flight build is not
+// affected (it still serves the remaining waiters and populates the
+// cache).
+func (c *planCache) get(ctx context.Context, key string, build func() (*Plan, error)) (plan *Plan, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		if e.done {
+			c.hits++
+		} else {
+			c.coalesced++
+		}
+		c.mu.Unlock()
+		select {
+		case <-e.ready:
+			return e.plan, true, e.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	el := c.ll.PushFront(e)
+	c.items[key] = el
+	c.misses++
+	if c.ll.Len() > c.cap {
+		if old := c.ll.Back(); old != nil && old != el {
+			c.ll.Remove(old)
+			delete(c.items, old.Value.(*cacheEntry).key)
+			c.evictions++
+		}
+	}
+	c.mu.Unlock()
+
+	plan, err = build()
+
+	c.mu.Lock()
+	e.plan, e.err, e.done = plan, err, true
+	if err != nil {
+		// Do not cache failures: a later identical request should retry
+		// (the failure may be transient, e.g. a cancelled context).
+		if cur, ok := c.items[key]; ok && cur.Value.(*cacheEntry) == e {
+			c.ll.Remove(cur)
+			delete(c.items, key)
+		}
+	}
+	c.mu.Unlock()
+	close(e.ready)
+	return plan, false, err
+}
+
+// stats snapshots the counters.
+func (c *planCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Coalesced: c.coalesced,
+		Evictions: c.evictions,
+		Size:      c.ll.Len(),
+		Cap:       c.cap,
+	}
+	if total := s.Hits + s.Coalesced + s.Misses; total > 0 {
+		s.HitRate = float64(s.Hits+s.Coalesced) / float64(total)
+	}
+	return s
+}

@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCacheSingleFlightBuildsOnce(t *testing.T) {
+	c := newPlanCache(4)
+	var builds atomic.Int32
+	gate := make(chan struct{})
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			plan, _, err := c.get(context.Background(), "k", func() (*Plan, error) {
+				builds.Add(1)
+				<-gate // hold the build open so every goroutine piles up
+				return &Plan{}, nil
+			})
+			if err != nil || plan == nil {
+				t.Errorf("get: plan=%v err=%v", plan, err)
+			}
+		}()
+	}
+	// Let the goroutines queue up behind the single in-flight build,
+	// then release it.
+	for builds.Load() == 0 {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("build ran %d times, want exactly once", got)
+	}
+	st := c.stats()
+	if st.Misses != 1 || st.Hits+st.Coalesced != n-1 {
+		t.Fatalf("stats = %+v, want 1 miss and %d hits+coalesced", st, n-1)
+	}
+}
+
+func TestCacheErrorsAreNotCached(t *testing.T) {
+	c := newPlanCache(4)
+	boom := errors.New("boom")
+	calls := 0
+	_, _, err := c.get(context.Background(), "k", func() (*Plan, error) { calls++; return nil, boom })
+	if err != boom {
+		t.Fatalf("err = %v", err)
+	}
+	plan, hit, err := c.get(context.Background(), "k", func() (*Plan, error) { calls++; return &Plan{}, nil })
+	if err != nil || hit || plan == nil {
+		t.Fatalf("retry: plan=%v hit=%v err=%v", plan, hit, err)
+	}
+	if calls != 2 {
+		t.Fatalf("build calls = %d, want 2 (errors must not be cached)", calls)
+	}
+	if st := c.stats(); st.Size != 1 {
+		t.Fatalf("size = %d, want 1", st.Size)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newPlanCache(2)
+	build := func() (*Plan, error) { return &Plan{}, nil }
+	c.get(context.Background(), "a", build)
+	c.get(context.Background(), "b", build)
+	c.get(context.Background(), "a", build) // refresh a; b is now least recently used
+	c.get(context.Background(), "c", build) // evicts b
+	if _, hit, _ := c.get(context.Background(), "a", build); !hit {
+		t.Fatal("a should have survived eviction")
+	}
+	if _, hit, _ := c.get(context.Background(), "b", build); hit {
+		t.Fatal("b should have been evicted")
+	}
+	st := c.stats()
+	if st.Evictions == 0 {
+		t.Fatalf("stats = %+v, want evictions > 0", st)
+	}
+	if st.Size > 2 {
+		t.Fatalf("size = %d exceeds cap 2", st.Size)
+	}
+}

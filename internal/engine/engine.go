@@ -1,0 +1,305 @@
+// Package engine implements a long-lived streaming extraction engine on
+// top of the split-correctness framework: the serving-side counterpart
+// of the paper's split-then-distribute observation (Doleschal et al.,
+// PODS 2019, Section 1). A one-shot evaluation pays for compiling the
+// formulas and — far worse — for the PSPACE decision procedures that
+// justify parallel evaluation, on every call. The engine amortizes both
+// across requests:
+//
+//   - A plan cache memoizes compiled VSet-automata together with their
+//     split-correctness / self-splittability / disjointness verdicts,
+//     behind an LRU with single-flight deduplication (concurrent
+//     requests for the same (spanner, splitter) pair run the decision
+//     procedures exactly once).
+//   - Documents may arrive as io.Reader streams: the splitter is applied
+//     incrementally with carry-over across chunk boundaries, and
+//     completed segments are dispatched to the parallel worker pool with
+//     configurable batching and backpressure while the tail of the
+//     document is still being read.
+//   - Segment relations are shifted and merged into a deterministic
+//     (sorted, deduplicated) result, byte-identical to one-shot
+//     evaluation of the whole document.
+//
+// cmd/spand wraps the engine in an HTTP daemon.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/span"
+)
+
+// Config tunes an Engine. The zero value selects sensible defaults.
+type Config struct {
+	// PlanCache is the maximum number of cached plans (default 128).
+	PlanCache int
+	// Workers is the evaluation worker-pool size (default GOMAXPROCS).
+	Workers int
+	// Batch is the number of segments grouped into one worker task
+	// (default 16).
+	Batch int
+	// ChunkSize is the read size for streaming ingestion (default 64 KiB).
+	ChunkSize int
+	// StateLimit bounds the decision procedures' state space; 0 selects
+	// the library default. Plans whose verdict exceeds the limit degrade
+	// to sequential evaluation instead of failing.
+	StateLimit int
+	// BufferAll disables incremental segmentation: every streamed
+	// document is buffered whole before evaluation. Incremental
+	// segmentation is exact for local splitters (segment boundaries
+	// determined by separator bytes, like every disjoint splitter in
+	// internal/library) but is unsound for a disjoint splitter whose
+	// segmentation depends on unbounded right context; deployments that
+	// accept arbitrary untrusted splitter formulas should set BufferAll.
+	BufferAll bool
+	// MaxDocBuffer caps the bytes the engine will hold in memory for one
+	// document: the whole document on the buffered path, the carry-over
+	// buffer on the streaming path. Documents exceeding it fail with
+	// ErrDocTooLarge. 0 selects the default (256 MiB); negative means
+	// unlimited.
+	MaxDocBuffer int64
+}
+
+// ErrDocTooLarge is returned when a document exceeds Config.MaxDocBuffer.
+var ErrDocTooLarge = errors.New("engine: document exceeds the configured buffer limit")
+
+func (c Config) withDefaults() Config {
+	if c.PlanCache <= 0 {
+		c.PlanCache = 128
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Batch <= 0 {
+		c.Batch = 16
+	}
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = 64 << 10
+	}
+	if c.MaxDocBuffer == 0 {
+		c.MaxDocBuffer = 256 << 20
+	}
+	return c
+}
+
+// Stats is a snapshot of engine counters for monitoring.
+type Stats struct {
+	UptimeSec      float64    `json:"uptime_sec"`
+	Documents      uint64     `json:"documents"`
+	Bytes          uint64     `json:"bytes"`
+	Segments       uint64     `json:"segments"`
+	SegmentsPerSec float64    `json:"segments_per_sec"`
+	Workers        int        `json:"workers"`
+	Batch          int        `json:"batch"`
+	PlanCache      CacheStats `json:"plan_cache"`
+}
+
+// Engine is a long-lived extraction engine; it is safe for concurrent
+// use.
+type Engine struct {
+	cfg      Config
+	cache    *planCache
+	start    time.Time
+	docs     atomic.Uint64
+	bytes    atomic.Uint64
+	segments atomic.Uint64
+}
+
+// New returns an engine with the given configuration.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	return &Engine{
+		cfg:   cfg,
+		cache: newPlanCache(cfg.PlanCache),
+		start: time.Now(),
+	}
+}
+
+// Plan returns the compiled, verdict-annotated plan for the request,
+// serving it from the plan cache when possible. hit reports whether the
+// expensive work (compilation + decision procedures) was skipped —
+// either a completed cached plan or a coalesced in-flight compilation.
+func (e *Engine) Plan(ctx context.Context, req Request) (plan *Plan, hit bool, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	return e.cache.get(ctx, req.key(), func() (*Plan, error) {
+		return compilePlan(req, e.cfg.StateLimit)
+	})
+}
+
+// Extract evaluates the plan on an in-memory document, using split
+// evaluation on the worker pool when the plan's verdicts justify it and
+// sequential evaluation otherwise. The result is sorted and
+// deduplicated.
+func (e *Engine) Extract(ctx context.Context, plan *Plan, doc string) (*span.Relation, error) {
+	e.docs.Add(1)
+	e.bytes.Add(uint64(len(doc)))
+	if plan.Strategy == StrategySplit {
+		segs := parallel.SegmentsOf(doc, plan.s.Split(doc))
+		e.segments.Add(uint64(len(segs)))
+		return parallel.SplitEvalCtx(ctx, plan.ps, segs, e.evalOpts())
+	}
+	if err := ctx.Err(); err != nil {
+		return span.NewRelation(plan.p.Vars...), err
+	}
+	rel := plan.p.Eval(doc)
+	rel.Dedupe()
+	return rel, nil
+}
+
+// WillStream reports whether ExtractReader would segment this plan's
+// documents incrementally (true) or buffer them whole (false). Streaming
+// requires a split plan with a disjoint splitter and an engine not
+// configured with BufferAll; see segmenter for the locality assumption
+// this implies.
+func (e *Engine) WillStream(plan *Plan) bool {
+	return !e.cfg.BufferAll &&
+		plan.Strategy == StrategySplit &&
+		plan.Verdicts.Disjoint == core.VerdictYes
+}
+
+// ExtractReader evaluates the plan on a document arriving as a stream.
+// For split plans with a disjoint splitter (see WillStream) the document
+// is segmented incrementally — segments already discovered are evaluated
+// on the worker pool while later chunks are still being read, with the
+// bounded dispatch channel providing backpressure. Other plans buffer
+// the whole stream and fall back to Extract. The result is identical to
+// Extract on the concatenated stream (for streamable splitters; see
+// segmenter). Memory is bounded by Config.MaxDocBuffer on both paths.
+func (e *Engine) ExtractReader(ctx context.Context, plan *Plan, r io.Reader) (*span.Relation, error) {
+	if !e.WillStream(plan) {
+		doc, err := e.readAllBounded(r)
+		if err != nil {
+			return span.NewRelation(plan.p.Vars...), err
+		}
+		return e.Extract(ctx, plan, doc)
+	}
+	e.docs.Add(1)
+
+	batches := make(chan []parallel.Segment, e.cfg.Workers)
+	readErr := make(chan error, 1)
+	go func() {
+		defer close(batches)
+		g := newSegmenter(plan.s)
+		chunk := make([]byte, e.cfg.ChunkSize)
+		var pending []parallel.Segment
+		// send dispatches full batches; sending blocks when every worker
+		// is busy, which in turn pauses reading — backpressure all the
+		// way to the producer of r.
+		send := func(segs []parallel.Segment, final bool) bool {
+			pending = append(pending, segs...)
+			for len(pending) >= e.cfg.Batch || (final && len(pending) > 0) {
+				n := e.cfg.Batch
+				if n > len(pending) {
+					n = len(pending)
+				}
+				batch := make([]parallel.Segment, n)
+				copy(batch, pending[:n])
+				pending = pending[n:]
+				e.segments.Add(uint64(n))
+				select {
+				case batches <- batch:
+				case <-ctx.Done():
+					return false
+				}
+			}
+			return true
+		}
+		for {
+			n, err := r.Read(chunk)
+			if n > 0 {
+				e.bytes.Add(uint64(n))
+				if !send(g.feed(chunk[:n]), false) {
+					readErr <- ctx.Err()
+					return
+				}
+				if e.cfg.MaxDocBuffer > 0 && int64(len(g.buf)) > e.cfg.MaxDocBuffer {
+					// The carry-over (one still-open segment) outgrew
+					// the budget — e.g. a boundary-less document.
+					readErr <- fmt.Errorf("%w (carry-over %d bytes > %d)", ErrDocTooLarge, len(g.buf), e.cfg.MaxDocBuffer)
+					return
+				}
+			}
+			switch {
+			case err == io.EOF:
+				if !send(g.flush(), true) {
+					readErr <- ctx.Err()
+					return
+				}
+				readErr <- nil
+				return
+			case err != nil:
+				readErr <- err
+				return
+			case ctx.Err() != nil:
+				readErr <- ctx.Err()
+				return
+			}
+		}
+	}()
+
+	rel, err := parallel.SplitEvalBatches(ctx, plan.ps, batches, e.cfg.Workers)
+	select {
+	case rerr := <-readErr:
+		if err == nil {
+			err = rerr
+		}
+	case <-ctx.Done():
+		// The producer may be stuck in a Read that does not observe ctx
+		// (readers are not cancellable in general); do not wait for it.
+		// It exits on its own once the read returns or the send fails.
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	return rel, err
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() Stats {
+	up := time.Since(e.start)
+	segs := e.segments.Load()
+	s := Stats{
+		UptimeSec: up.Seconds(),
+		Documents: e.docs.Load(),
+		Bytes:     e.bytes.Load(),
+		Segments:  segs,
+		Workers:   e.cfg.Workers,
+		Batch:     e.cfg.Batch,
+		PlanCache: e.cache.stats(),
+	}
+	if up > 0 {
+		s.SegmentsPerSec = float64(segs) / up.Seconds()
+	}
+	return s
+}
+
+func (e *Engine) evalOpts() parallel.Options {
+	return parallel.Options{Workers: e.cfg.Workers, Batch: e.cfg.Batch}
+}
+
+// readAllBounded reads the whole stream, failing with ErrDocTooLarge
+// once it exceeds Config.MaxDocBuffer.
+func (e *Engine) readAllBounded(r io.Reader) (string, error) {
+	if e.cfg.MaxDocBuffer <= 0 {
+		doc, err := io.ReadAll(r)
+		return string(doc), err
+	}
+	doc, err := io.ReadAll(io.LimitReader(r, e.cfg.MaxDocBuffer+1))
+	if err != nil {
+		return "", err
+	}
+	if int64(len(doc)) > e.cfg.MaxDocBuffer {
+		return "", fmt.Errorf("%w (> %d bytes)", ErrDocTooLarge, e.cfg.MaxDocBuffer)
+	}
+	return string(doc), nil
+}

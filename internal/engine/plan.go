@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/automata"
+	"repro/internal/core"
+	"repro/internal/regexformula"
+	"repro/internal/vsa"
+)
+
+// Strategy is the evaluation strategy an extraction plan settled on.
+type Strategy int8
+
+const (
+	// StrategySequential evaluates the spanner directly on the whole
+	// document — the fallback whenever split evaluation is not known to
+	// be equivalent.
+	StrategySequential Strategy = iota
+	// StrategySplit applies the splitter, evaluates the split-spanner on
+	// every segment on the worker pool, and merges the shifted results —
+	// the paper's split-then-distribute plan, safe because the plan's
+	// verdict established P = P_S ∘ S.
+	StrategySplit
+)
+
+func (s Strategy) String() string {
+	if s == StrategySplit {
+		return "split-parallel"
+	}
+	return "sequential"
+}
+
+// MarshalText renders the strategy for JSON consumers.
+func (s Strategy) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// Request names an extraction plan: a spanner formula, optionally a
+// splitter formula, and optionally an explicit split-spanner formula.
+// The three formulas are the plan-cache key.
+type Request struct {
+	// Spanner is the regex formula of the spanner P (required).
+	Spanner string
+	// Splitter is the unary regex formula of the splitter S; when empty
+	// the plan is sequential-only.
+	Splitter string
+	// SplitSpanner is the regex formula of an explicit split-spanner
+	// P_S. When empty and a splitter is given, the plan checks
+	// self-splittability (P_S = P); when given, it checks
+	// split-correctness of (P, P_S, S).
+	SplitSpanner string
+}
+
+// key is the plan-cache key. Fields are length-prefixed so no byte
+// sequence inside a formula (NUL included — it is a legal literal) can
+// make two distinct requests collide.
+func (r Request) key() string {
+	return fmt.Sprintf("%d:%s%d:%s%d:%s",
+		len(r.Spanner), r.Spanner, len(r.Splitter), r.Splitter, len(r.SplitSpanner), r.SplitSpanner)
+}
+
+// Plan is a compiled, verdict-annotated extraction plan: the unit the
+// engine's cache memoizes so the PSPACE decision procedures and the
+// automaton compilation run once per (spanner, splitter) pair, not once
+// per request.
+type Plan struct {
+	// Req is the source request (also the cache key).
+	Req Request
+	// Verdicts holds the memoized decision-procedure outcomes.
+	Verdicts core.PlanVerdicts
+	// Strategy is the evaluation strategy the verdicts justify.
+	Strategy Strategy
+	// CompileTime is how long compilation plus the decision procedures
+	// took; cache hits amortize exactly this cost.
+	CompileTime time.Duration
+
+	p  *vsa.Automaton // the spanner P
+	ps *vsa.Automaton // the split-spanner P_S (nil unless StrategySplit)
+	s  *core.Splitter // the splitter S (nil when Req.Splitter is empty)
+}
+
+// Spanner exposes the compiled spanner automaton.
+func (p *Plan) Spanner() *vsa.Automaton { return p.p }
+
+// SplitterOf exposes the compiled splitter, or nil for sequential-only
+// plans.
+func (p *Plan) SplitterOf() *core.Splitter { return p.s }
+
+// Vars returns the plan's output variables.
+func (p *Plan) Vars() []string { return append([]string(nil), p.p.Vars...) }
+
+// compilePlan builds a Plan from a request: it compiles the formulas,
+// runs the relevant decision procedures under the state limit, and picks
+// the strategy. A limit overflow (automata.ErrTooLarge) is not an error:
+// the verdict stays unknown and the plan degrades to sequential
+// evaluation, which is always correct.
+//
+// compilePlan deliberately takes no context: it runs under the cache's
+// single-flight, and a build started on behalf of one request serves
+// every coalesced waiter — cancelling it because the first requester
+// went away would fail the others. The decision procedures themselves
+// are bounded by the state limit rather than by cancellation.
+func compilePlan(req Request, limit int) (*Plan, error) {
+	if req.Spanner == "" {
+		return nil, errors.New("engine: empty spanner formula")
+	}
+	t0 := time.Now()
+	plan := &Plan{Req: req}
+	var err error
+	plan.p, err = regexformula.Compile(req.Spanner)
+	if err != nil {
+		return nil, fmt.Errorf("engine: spanner: %w", err)
+	}
+	if req.Splitter == "" {
+		if req.SplitSpanner != "" {
+			return nil, errors.New("engine: split_spanner given without a splitter")
+		}
+		plan.CompileTime = time.Since(t0)
+		return plan, nil
+	}
+	sAuto, err := regexformula.Compile(req.Splitter)
+	if err != nil {
+		return nil, fmt.Errorf("engine: splitter: %w", err)
+	}
+	plan.s, err = core.NewSplitter(sAuto)
+	if err != nil {
+		return nil, fmt.Errorf("engine: splitter: %w", err)
+	}
+	plan.Verdicts.Disjoint = core.VerdictOf(plan.s.IsDisjoint())
+
+	if req.SplitSpanner != "" {
+		ps, err := regexformula.Compile(req.SplitSpanner)
+		if err != nil {
+			return nil, fmt.Errorf("engine: split_spanner: %w", err)
+		}
+		ok, err := core.SplitCorrectAuto(plan.p, ps, plan.s, limit)
+		switch {
+		case errors.Is(err, automata.ErrTooLarge):
+			plan.Verdicts.Note = "split-correctness undecided: " + err.Error()
+		case err != nil:
+			return nil, fmt.Errorf("engine: split-correctness: %w", err)
+		default:
+			plan.Verdicts.SplitCorrect = core.VerdictOf(ok)
+			if ok {
+				plan.Strategy = StrategySplit
+				plan.ps = ps
+			}
+		}
+		plan.CompileTime = time.Since(t0)
+		return plan, nil
+	}
+
+	ok, err := selfSplittable(plan.p, plan.s, limit)
+	switch {
+	case errors.Is(err, automata.ErrTooLarge):
+		plan.Verdicts.Note = "self-splittability undecided: " + err.Error()
+	case err != nil:
+		return nil, fmt.Errorf("engine: self-splittability: %w", err)
+	default:
+		plan.Verdicts.SelfSplittable = core.VerdictOf(ok)
+		if ok {
+			plan.Strategy = StrategySplit
+			plan.ps = plan.p
+		}
+	}
+	plan.CompileTime = time.Since(t0)
+	return plan, nil
+}
+
+// selfSplittable mirrors the façade's procedure selection: the
+// polynomial Theorem 5.17 algorithm when the automata are deterministic
+// and the splitter disjoint, the general Theorem 5.16 procedure
+// otherwise.
+func selfSplittable(p *vsa.Automaton, s *core.Splitter, limit int) (bool, error) {
+	if p.Arity() > 0 && p.IsDeterministic() &&
+		s.Automaton().IsDeterministic() && s.IsDisjoint() {
+		return core.SelfSplittablePoly(p, s)
+	}
+	return core.SelfSplittable(p, s, limit)
+}

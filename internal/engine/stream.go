@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/span"
+)
+
+// segmenter applies a splitter incrementally to a document arriving as
+// chunks, so that segments are dispatched to the worker pool while the
+// rest of the document is still being read.
+//
+// The strategy: keep a buffer of the not-yet-segmented suffix of the
+// document. After each chunk, run the splitter on the buffer; every
+// segment except the last is stable and is emitted (shifted to global
+// document coordinates), and the buffer is cut down to start at the last,
+// still-growing segment. The final segment is only emitted at flush,
+// because more input could extend it — this is exactly the carry-over
+// that makes a chunk boundary landing mid-segment invisible to the
+// result.
+//
+// Soundness requires the splitter to be disjoint and local: its
+// segmentation of any document must factor at segment starts, i.e.
+// S(d) restricted to positions ≥ the start of a segment equals the
+// (shifted) segmentation of the corresponding suffix of d. The
+// sentence, paragraph, token and record splitters of internal/library
+// are local (their segment boundaries are determined by separator
+// bytes); the engine only streams plans whose splitter is disjoint and
+// falls back to whole-document buffering otherwise. Callers that stream
+// a non-local splitter get the same guarantee as ParallelEval gives a
+// non-split-correct plan: none — which is why Engine.ExtractReader
+// gates streaming on the plan's verdicts.
+type segmenter struct {
+	s   *core.Splitter
+	buf []byte
+	off int // 0-based global byte offset of buf[0]
+	// minSplit defers the next splitter run until the buffer reaches
+	// this length. It doubles whenever a run finds no stable segment, so
+	// on input whose segments are much larger than the chunk size the
+	// splitter runs on buffer lengths c, 2c, 4c, … — amortized linear
+	// total work instead of one full re-scan per chunk.
+	minSplit int
+}
+
+func newSegmenter(s *core.Splitter) *segmenter {
+	return &segmenter{s: s}
+}
+
+// shiftAll converts buffer-relative spans into global document segments.
+func (g *segmenter) emit(spans []span.Span) []parallel.Segment {
+	if len(spans) == 0 {
+		return nil
+	}
+	doc := string(g.buf)
+	by := span.Span{Start: g.off + 1, End: g.off + 1}
+	out := make([]parallel.Segment, len(spans))
+	for i, sp := range spans {
+		out[i] = parallel.Segment{Span: sp.Shift(by), Text: sp.In(doc)}
+	}
+	return out
+}
+
+// feed appends a chunk and returns the segments that became stable.
+func (g *segmenter) feed(chunk []byte) []parallel.Segment {
+	g.buf = append(g.buf, chunk...)
+	if len(g.buf) < g.minSplit {
+		return nil
+	}
+	spans := g.s.Split(string(g.buf))
+	if len(spans) < 2 {
+		// Zero or one segment: the single segment may still grow; hold
+		// everything and back off until the buffer has doubled.
+		g.minSplit = 2 * len(g.buf)
+		return nil
+	}
+	g.minSplit = 0
+	held := spans[len(spans)-1]
+	out := g.emit(spans[:len(spans)-1])
+	// Cut the buffer down to the held segment's start. Disjointness
+	// guarantees every emitted span ends at or before held.Start, so no
+	// emitted text is needed again; the gap before held holds only
+	// separator bytes, which a local splitter never carries across a
+	// segment start.
+	cut := held.Start - 1
+	g.off += cut
+	n := copy(g.buf, g.buf[cut:])
+	g.buf = g.buf[:n]
+	return out
+}
+
+// flush ends the stream: the splitter runs once more on the remaining
+// buffer and every remaining segment is emitted. On an empty stream this
+// yields exactly S("") — e.g. one empty segment for sentence-like
+// splitters — matching one-shot evaluation of the empty document.
+func (g *segmenter) flush() []parallel.Segment {
+	out := g.emit(g.s.Split(string(g.buf)))
+	g.buf = g.buf[:0]
+	return out
+}

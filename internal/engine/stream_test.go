@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/library"
+	"repro/internal/parallel"
+)
+
+// collect runs the segmenter over doc in chunks of size n and returns
+// all emitted segments in order.
+func collect(doc string, n int) []parallel.Segment {
+	g := newSegmenter(library.Sentences())
+	var out []parallel.Segment
+	for lo := 0; lo < len(doc); lo += n {
+		hi := lo + n
+		if hi > len(doc) {
+			hi = len(doc)
+		}
+		out = append(out, g.feed([]byte(doc[lo:hi]))...)
+	}
+	return append(out, g.flush()...)
+}
+
+func TestSegmenterMatchesOneShotSplit(t *testing.T) {
+	docs := []string{
+		"",
+		".",
+		"no terminator at all",
+		"one. two! three? four\nfive.",
+		"trailing terminator.",
+		"..!!..",
+		"a.b.c.d.e.f.g.h",
+	}
+	s := library.Sentences()
+	for _, doc := range docs {
+		want := parallel.SegmentsOf(doc, s.Split(doc))
+		for n := 1; n <= len(doc)+1; n++ {
+			got := collect(doc, n)
+			if len(got) != len(want) {
+				t.Fatalf("doc %q chunk %d: %d segments, want %d (%v vs %v)", doc, n, len(got), len(want), got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("doc %q chunk %d: segment %d = %+v, want %+v", doc, n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSegmenterCarryKeepsBufferSmall(t *testing.T) {
+	// After feeding many complete sentences the buffer must hold only
+	// the still-open tail, not the whole document.
+	g := newSegmenter(library.Sentences())
+	for i := 0; i < 100; i++ {
+		g.feed([]byte("a sentence here. "))
+	}
+	if len(g.buf) > 64 {
+		t.Fatalf("buffer grew to %d bytes; carry-over is not trimming", len(g.buf))
+	}
+}

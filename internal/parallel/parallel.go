@@ -8,6 +8,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -38,31 +39,113 @@ func SegmentsOf(doc string, spans []span.Span) []Segment {
 	return out
 }
 
+// Options configures the context-aware split evaluators.
+type Options struct {
+	// Workers is the size of the worker pool; ≤ 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Batch is the number of segments grouped into one dispatched task,
+	// amortizing scheduling overhead on segment-heavy splitters
+	// (N-grams, tokens); ≤ 0 means 1 (one segment per task).
+	Batch int
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+func (o Options) batch() int {
+	if o.Batch <= 0 {
+		return 1
+	}
+	return o.Batch
+}
+
 // SplitEval evaluates ps on every segment using the given number of
 // workers and returns the shifted, deduplicated union — the spanner
 // (P_S ∘ S)(d) when the segments come from S. workers ≤ 0 means
 // runtime.GOMAXPROCS(0).
 func SplitEval(ps *vsa.Automaton, segments []Segment, workers int) *span.Relation {
+	rel, _ := SplitEvalCtx(context.Background(), ps, segments, Options{Workers: workers})
+	return rel
+}
+
+// SplitEvalCtx is SplitEval with cancellation and batching: it stops
+// dispatching segments as soon as ctx is cancelled and returns ctx's
+// error together with whatever partial relation had been merged. With a
+// never-cancelled context the result equals SplitEval's.
+func SplitEvalCtx(ctx context.Context, ps *vsa.Automaton, segments []Segment, opts Options) (*span.Relation, error) {
+	batch := opts.batch()
+	batches := make(chan []Segment, opts.workers())
+	go func() {
+		defer close(batches)
+		for lo := 0; lo < len(segments); lo += batch {
+			hi := lo + batch
+			if hi > len(segments) {
+				hi = len(segments)
+			}
+			select {
+			case batches <- segments[lo:hi]:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return SplitEvalBatches(ctx, ps, batches, opts.Workers)
+}
+
+// SplitEvalBatches evaluates ps on batches of segments arriving on a
+// channel — the streaming form used by the extraction engine, where the
+// splitter discovers segments incrementally while earlier segments are
+// already being evaluated. The bounded worker pool gives natural
+// backpressure: when all workers are busy, sends into batches block. The
+// merged relation is deduplicated and sorted, so the result is
+// deterministic regardless of arrival order. On cancellation the workers
+// drain nothing further and ctx's error is returned with the partial
+// result.
+func SplitEvalBatches(ctx context.Context, ps *vsa.Automaton, batches <-chan []Segment, workers int) (*span.Relation, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	jobs := make(chan Segment, workers)
 	results := make(chan *span.Relation, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for seg := range jobs {
-				results <- ps.Eval(seg.Text).ShiftAll(seg.Span)
+			for {
+				var batch []Segment
+				var ok bool
+				select {
+				case batch, ok = <-batches:
+					if !ok {
+						return
+					}
+				case <-ctx.Done():
+					// Also unblocks workers whose producer is stalled
+					// (e.g. a hung reader that will never close batches).
+					return
+				}
+				rel := span.NewRelation(ps.Vars...)
+				for _, seg := range batch {
+					if ctx.Err() != nil {
+						return
+					}
+					sub := ps.Eval(seg.Text).ShiftAll(seg.Span)
+					rel.Tuples = append(rel.Tuples, sub.Tuples...)
+				}
+				select {
+				case results <- rel:
+				case <-ctx.Done():
+					return
+				}
 			}
 		}()
 	}
 	go func() {
-		for _, seg := range segments {
-			jobs <- seg
-		}
-		close(jobs)
 		wg.Wait()
 		close(results)
 	}()
@@ -71,7 +154,7 @@ func SplitEval(ps *vsa.Automaton, segments []Segment, workers int) *span.Relatio
 		out.Tuples = append(out.Tuples, rel.Tuples...)
 	}
 	out.Dedupe()
-	return out
+	return out, ctx.Err()
 }
 
 // CollectionEval evaluates p on every document of a pre-split collection

@@ -1,6 +1,8 @@
 package parallel
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/core"
@@ -88,5 +90,59 @@ func TestMeasureCollection(t *testing.T) {
 	m := MeasureCollection("amazon", p, p, docsIn, library.FastSentenceSplit, 3)
 	if m.Tuples == 0 {
 		t.Fatal("expected some sentiment extractions")
+	}
+}
+
+func TestSplitEvalCtxBatchingEqualsUnbatched(t *testing.T) {
+	p := library.NegativeSentiment()
+	doc := corpus.Reviews(23, 40)[0] + ". " + corpus.Reviews(24, 40)[1]
+	segs := SegmentsOf(doc, library.FastSentenceSplit(doc))
+	want := SplitEval(p, segs, 3)
+	for _, batch := range []int{1, 2, 7, 1000} {
+		got, err := SplitEvalCtx(context.Background(), p, segs, Options{Workers: 3, Batch: batch})
+		if err != nil {
+			t.Fatalf("batch=%d: %v", batch, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("batch=%d: batched evaluation differs", batch)
+		}
+	}
+}
+
+func TestSplitEvalCtxCancellation(t *testing.T) {
+	p := library.NegativeSentiment()
+	doc := corpus.Reviews(25, 40)[0]
+	segs := SegmentsOf(doc, library.FastSentenceSplit(doc))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: nothing should be dispatched
+	rel, err := SplitEvalCtx(ctx, p, segs, Options{Workers: 2})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rel == nil {
+		t.Fatal("expected a (partial) relation even on cancellation")
+	}
+}
+
+func TestSplitEvalBatchesStreaming(t *testing.T) {
+	// Feed batches through a channel while evaluation is running — the
+	// engine's streaming path — and check the merged result.
+	p := library.NegativeSentiment()
+	doc := corpus.Reviews(26, 40)[0] + ". " + corpus.Reviews(27, 40)[2]
+	segs := SegmentsOf(doc, library.FastSentenceSplit(doc))
+	want := SplitEval(p, segs, 3)
+	batches := make(chan []Segment)
+	go func() {
+		defer close(batches)
+		for _, s := range segs {
+			batches <- []Segment{s}
+		}
+	}()
+	got, err := SplitEvalBatches(context.Background(), p, batches, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("streamed batch evaluation differs from slice evaluation")
 	}
 }
