@@ -220,6 +220,53 @@ func BenchmarkEvalThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkEvalCore is the before/after comparison for the compiled
+// evaluation core: the lazy-DFA, byte-class-compressed Eval/EvalBool
+// against the retained reference NFA simulations (EvalReference /
+// EvalBoolReference — the implementation before this optimization), plus
+// split evaluation of the same spanner over a multi-MB corpus. The
+// Reference sub-benchmarks are the "before" numbers.
+func BenchmarkEvalCore(b *testing.B) {
+	// Review text, so the extractor genuinely matches: the assignment
+	// machinery runs, not just the DFA prescan rejecting everything.
+	doc := strings.Join(corpus.Reviews(1, 1<<13), "\n") // several MiB
+	p := library.NegativeSentiment()
+	p.Prepare()
+	segs := parallel.SegmentsOf(doc, library.FastSentenceSplit(doc))
+	b.Logf("corpus: %d bytes, %d sentence segments, %d tuples",
+		len(doc), len(segs), p.Eval(doc).Len())
+	b.Run("EvalBool", func(b *testing.B) {
+		b.SetBytes(int64(len(doc)))
+		for i := 0; i < b.N; i++ {
+			p.EvalBool(doc)
+		}
+	})
+	b.Run("EvalBoolReference", func(b *testing.B) {
+		b.SetBytes(int64(len(doc)))
+		for i := 0; i < b.N; i++ {
+			p.EvalBoolReference(doc)
+		}
+	})
+	b.Run("Eval", func(b *testing.B) {
+		b.SetBytes(int64(len(doc)))
+		for i := 0; i < b.N; i++ {
+			p.Eval(doc)
+		}
+	})
+	b.Run("EvalReference", func(b *testing.B) {
+		b.SetBytes(int64(len(doc)))
+		for i := 0; i < b.N; i++ {
+			p.EvalReference(doc)
+		}
+	})
+	b.Run("SplitEval", func(b *testing.B) {
+		b.SetBytes(int64(len(doc)))
+		for i := 0; i < b.N; i++ {
+			parallel.SplitEval(p, segs, benchWorkers)
+		}
+	})
+}
+
 // Formula-level counterparts of the library extractors, used by the
 // engine benchmarks (the engine's plan cache is keyed by formula text).
 const (

@@ -194,7 +194,14 @@ func (s *server) extract(w http.ResponseWriter, r *http.Request, req engine.Requ
 func (s *server) runExtract(w http.ResponseWriter, r *http.Request, req engine.Request, ingest string, run func(*engine.Plan) (*span.Relation, error)) {
 	plan, hit, err := s.eng.Plan(r.Context(), req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		// A coalesced waiter can see its own context cancelled while the
+		// plan is still compiling; that is the client's doing, not a bad
+		// formula — classify it like evaluation-stage cancellation.
+		status := http.StatusBadRequest
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = 499 // client closed request / timed out
+		}
+		writeError(w, status, err)
 		return
 	}
 	if ingest == "" {
@@ -238,7 +245,13 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	}
 	plan, hit, err := s.eng.Plan(r.Context(), req.engineRequest())
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		// Same classification as runExtract: a coalesced waiter's own
+		// cancellation is not a bad request.
+		status := http.StatusBadRequest
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = 499 // client closed request / timed out
+		}
+		writeError(w, status, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, planSection(plan, hit))

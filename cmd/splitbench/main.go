@@ -79,7 +79,11 @@ func ngramSpeedup(title, doc string, n int) {
 	ngram := library.NGrams(n)
 	composed := core.Compose(ngram.Automaton(), sentences)
 	segs := parallel.SegmentsOf(doc, library.FastSentenceSplit(doc))
-	m := parallel.Measure(title, composed, ngram.Automaton(), doc, segs, *workers)
+	m, err := parallel.Measure(title, composed, ngram.Automaton(), doc, segs, *workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", title, err)
+		os.Exit(1)
+	}
 	fmt.Printf("corpus=%d bytes  sentences=%d  workers=%d\n", len(doc), len(segs), *workers)
 	fmt.Printf("sequential=%v  split=%v  speedup=%.2fx  ngrams=%d\n",
 		m.Sequential.Round(time.Millisecond), m.Split.Round(time.Millisecond), m.Speedup, m.Tuples)
@@ -102,12 +106,20 @@ func e4Reuters() {
 // arrive late and whole-document scheduling straggles on them.
 func collectionExperiment(p *vsa.Automaton, docs []string, noun string) {
 	fmt.Printf("%s=%d  workers=%d\n", noun, len(docs), *workers)
-	m := parallel.MeasureCollection("random-order", p, p, docs, library.FastSentenceSplit, *workers)
+	m, err := parallel.MeasureCollection("random-order", p, p, docs, library.FastSentenceSplit, *workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "random-order: %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Printf("random order : whole-docs=%v  split-tasks=%v  speedup=%.2fx  tuples=%d\n",
 		m.Sequential.Round(time.Millisecond), m.Split.Round(time.Millisecond), m.Speedup, m.Tuples)
 	sorted := append([]string(nil), docs...)
 	sort.Slice(sorted, func(i, j int) bool { return len(sorted[i]) < len(sorted[j]) })
-	m = parallel.MeasureCollection("long-last", p, p, sorted, library.FastSentenceSplit, *workers)
+	m, err = parallel.MeasureCollection("long-last", p, p, sorted, library.FastSentenceSplit, *workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "long-last: %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Printf("long-last    : whole-docs=%v  split-tasks=%v  speedup=%.2fx  tuples=%d\n",
 		m.Sequential.Round(time.Millisecond), m.Split.Round(time.Millisecond), m.Speedup, m.Tuples)
 }

@@ -6,6 +6,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
@@ -22,7 +23,10 @@ func main() {
 	for _, n := range []int{2, 3} {
 		ngram := library.NGrams(n)
 		composed := core.Compose(ngram.Automaton(), sentences)
-		m := parallel.Measure(fmt.Sprintf("%d-grams", n), composed, ngram.Automaton(), doc, segs, 5)
+		m, err := parallel.Measure(fmt.Sprintf("%d-grams", n), composed, ngram.Automaton(), doc, segs, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("N=%d: sequential=%v split=%v speedup=%.2fx ngrams=%d\n",
 			n, m.Sequential, m.Split, m.Speedup, m.Tuples)
 	}

@@ -204,3 +204,46 @@ func Reps(atoms []Class) []byte {
 	}
 	return reps
 }
+
+// ClassTable computes the byte→equivalence-class table for a collection of
+// classes: two bytes get the same index iff they are members of exactly the
+// same input classes, so an evaluator that resolved a transition for one
+// byte of an equivalence class has resolved it for all of them. This is the
+// dense (256-entry, O(1)-lookup) counterpart of Atoms, sized for the hot
+// path: classOf[b] indexes into per-class transition tables. reps holds one
+// representative byte per index. At most 256 indices exist, so uint8 never
+// overflows; indices are dense in [0, len(reps)).
+func ClassTable(classes []Class) (classOf [256]uint8, reps []byte) {
+	// Signature of byte b = the subset of classes containing b, packed into
+	// a bit string. Equal signatures ⇔ same equivalence class.
+	words := (len(classes) + 63) / 64
+	if words == 0 {
+		words = 1
+	}
+	sig := make([]uint64, words)
+	key := make([]byte, 8*words)
+	index := make(map[string]uint8, 8)
+	for b := 0; b < 256; b++ {
+		for w := range sig {
+			sig[w] = 0
+		}
+		for i, c := range classes {
+			if c.Has(byte(b)) {
+				sig[i/64] |= 1 << (i % 64)
+			}
+		}
+		for w, v := range sig {
+			for i := 0; i < 8; i++ {
+				key[8*w+i] = byte(v >> (8 * i))
+			}
+		}
+		id, ok := index[string(key)]
+		if !ok {
+			id = uint8(len(reps))
+			index[string(key)] = id
+			reps = append(reps, byte(b))
+		}
+		classOf[b] = id
+	}
+	return classOf, reps
+}

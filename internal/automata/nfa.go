@@ -89,27 +89,44 @@ func (a *NFA) DedupeEdges() {
 }
 
 // Accepts reports whether the automaton accepts the given word, by direct
-// state-set simulation.
+// state-set simulation over integer-indexed sparse sets. The interned
+// symbols are already the byte-class-compressed alphabet (each symbol is
+// one alphabet atom; see internal/alphabet), so per position the loop is a
+// linear scan over the frontier's edges with no hashing and no per-symbol
+// allocation.
 func (a *NFA) Accepts(word []int) bool {
-	cur := map[int]bool{}
+	n := a.Len()
+	cur := make([]int, 0, len(a.Starts))
+	next := make([]int, 0, len(a.Starts))
+	mark := make([]bool, n)
 	for _, s := range a.Starts {
-		cur[s] = true
+		if !mark[s] {
+			mark[s] = true
+			cur = append(cur, s)
+		}
+	}
+	for _, q := range cur {
+		mark[q] = false
 	}
 	for _, sym := range word {
-		next := map[int]bool{}
-		for q := range cur {
+		next = next[:0]
+		for _, q := range cur {
 			for _, e := range a.Adj[q] {
-				if e.Sym == sym {
-					next[e.To] = true
+				if e.Sym == sym && !mark[e.To] {
+					mark[e.To] = true
+					next = append(next, e.To)
 				}
 			}
 		}
-		cur = next
-		if len(cur) == 0 {
+		for _, q := range next {
+			mark[q] = false
+		}
+		if len(next) == 0 {
 			return false
 		}
+		cur, next = next, cur
 	}
-	for q := range cur {
+	for _, q := range cur {
 		if a.Final[q] {
 			return true
 		}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/regexformula"
+)
+
+// FuzzEvalLazyVsReference cross-checks the compiled lazy-DFA evaluation
+// core (Automaton.Eval / EvalBool) against the retained reference NFA
+// simulation (EvalReference / EvalBoolReference) on randomly generated
+// spanner formulas and fuzz-provided documents. The formula generator is
+// the same one the random differential tests use; the document bytes come
+// straight from the fuzzer, so byte classes outside the formula's alphabet
+// (the DFA's dead class) get exercised too.
+func FuzzEvalLazyVsReference(f *testing.F) {
+	f.Add(int64(1), "abab")
+	f.Add(int64(2), "")
+	f.Add(int64(3), "bbbbbbaaab")
+	f.Add(int64(42), "a.b!c?\x00\xffzz")
+	f.Fuzz(func(t *testing.T, seed int64, doc string) {
+		if len(doc) > 1<<12 {
+			doc = doc[:1<<12]
+		}
+		rng := rand.New(rand.NewSource(seed))
+		src := randomUnaryFormula(rng, "y", 2)
+		p, err := regexformula.Compile(src)
+		if err != nil {
+			t.Skip()
+		}
+		got, want := p.Eval(doc), p.EvalReference(doc)
+		if !got.Equal(want) {
+			t.Fatalf("Eval disagrees with reference on %q\nformula: %s\nlazy: %v\nref:  %v", doc, src, got, want)
+		}
+		if gb, wb := p.EvalBool(doc), p.EvalBoolReference(doc); gb != wb {
+			t.Fatalf("EvalBool=%v reference=%v on %q\nformula: %s", gb, wb, doc, src)
+		}
+	})
+}

@@ -3,6 +3,7 @@ package engine
 import (
 	"container/list"
 	"context"
+	"fmt"
 	"sync"
 )
 
@@ -94,7 +95,7 @@ func (c *planCache) get(ctx context.Context, key string, build func() (*Plan, er
 	}
 	c.mu.Unlock()
 
-	plan, err = build()
+	plan, err = runBuild(build)
 
 	c.mu.Lock()
 	e.plan, e.err, e.done = plan, err, true
@@ -109,6 +110,21 @@ func (c *planCache) get(ctx context.Context, key string, build func() (*Plan, er
 	c.mu.Unlock()
 	close(e.ready)
 	return plan, false, err
+}
+
+// runBuild runs build, converting a panic into an error. Compilation can
+// panic on hostile input (e.g. a formula with more variables than
+// vsa.MaxVars); if the panic escaped here the in-flight cache entry would
+// keep its ready channel open forever and every later request for the
+// same key would block on it — one bad request permanently poisoning a
+// cache key. As an error it takes the normal not-cached path instead.
+func runBuild(build func() (*Plan, error)) (plan *Plan, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			plan, err = nil, fmt.Errorf("engine: plan compilation failed: %v", r)
+		}
+	}()
+	return build()
 }
 
 // stats snapshots the counters.

@@ -3,10 +3,13 @@ package engine
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestCacheSingleFlightBuildsOnce(t *testing.T) {
@@ -84,5 +87,48 @@ func TestCacheLRUEviction(t *testing.T) {
 	}
 	if st.Size > 2 {
 		t.Fatalf("size = %d exceeds cap 2", st.Size)
+	}
+}
+
+// TestCacheBuildPanicDoesNotPoisonKey: a panicking compilation (hostile
+// input, e.g. a formula exceeding vsa.MaxVars) must surface as an error
+// and leave the key retryable — previously the in-flight entry's ready
+// channel was never closed and every later request for the key blocked
+// forever.
+func TestCacheBuildPanicDoesNotPoisonKey(t *testing.T) {
+	c := newPlanCache(4)
+	ctx := context.Background()
+	_, _, err := c.get(ctx, "k", func() (*Plan, error) { panic("boom") })
+	if err == nil {
+		t.Fatal("expected an error from a panicking build")
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.get(ctx, "k", func() (*Plan, error) { return &Plan{}, nil })
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("retry after panic: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("key poisoned: retry blocked on the dead in-flight entry")
+	}
+}
+
+// TestPlanHostileFormulaTooManyVars drives the same hazard end to end
+// through Engine.Plan: the request must fail cleanly, twice.
+func TestPlanHostileFormulaTooManyVars(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 33; i++ {
+		fmt.Fprintf(&sb, "(v%d{a})", i)
+	}
+	e := New(Config{})
+	for round := 0; round < 2; round++ {
+		_, _, err := e.Plan(context.Background(), Request{Spanner: sb.String()})
+		if err == nil {
+			t.Fatalf("round %d: expected an error for a %d-variable formula", round, 33)
+		}
 	}
 }

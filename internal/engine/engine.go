@@ -151,9 +151,7 @@ func (e *Engine) Extract(ctx context.Context, plan *Plan, doc string) (*span.Rel
 	if err := ctx.Err(); err != nil {
 		return span.NewRelation(plan.p.Vars...), err
 	}
-	rel := plan.p.Eval(doc)
-	rel.Dedupe()
-	return rel, nil
+	return plan.p.Eval(doc), nil // Eval returns a deduplicated, sorted relation
 }
 
 // WillStream reports whether ExtractReader would segment this plan's
@@ -248,17 +246,28 @@ func (e *Engine) ExtractReader(ctx context.Context, plan *Plan, r io.Reader) (*s
 	}()
 
 	rel, err := parallel.SplitEvalBatches(ctx, plan.ps, batches, e.cfg.Workers)
+	// Prefer the producer's verdict when it is already in: a cancellation
+	// arriving after a fully successful read+evaluation must not
+	// nondeterministically discard the complete result.
 	select {
 	case rerr := <-readErr:
 		if err == nil {
 			err = rerr
 		}
-	case <-ctx.Done():
-		// The producer may be stuck in a Read that does not observe ctx
-		// (readers are not cancellable in general); do not wait for it.
-		// It exits on its own once the read returns or the send fails.
-		if err == nil {
-			err = ctx.Err()
+	default:
+		select {
+		case rerr := <-readErr:
+			if err == nil {
+				err = rerr
+			}
+		case <-ctx.Done():
+			// The producer may be stuck in a Read that does not observe
+			// ctx (readers are not cancellable in general); do not wait
+			// for it. It exits on its own once the read returns or the
+			// send fails.
+			if err == nil {
+				err = ctx.Err()
+			}
 		}
 	}
 	return rel, err

@@ -107,6 +107,7 @@ func compilePlan(req Request, limit int) (*Plan, error) {
 	}
 	t0 := time.Now()
 	plan := &Plan{Req: req}
+	defer func() { plan.warm() }()
 	var err error
 	plan.p, err = regexformula.Compile(req.Spanner)
 	if err != nil {
@@ -166,6 +167,25 @@ func compilePlan(req Request, limit int) (*Plan, error) {
 	}
 	plan.CompileTime = time.Since(t0)
 	return plan, nil
+}
+
+// warm forces the evaluation caches (byte-class tables, lazy-DFA start
+// states, suffix-universality) of every automaton the plan will evaluate
+// with, so the caches are built once under the plan cache's single-flight
+// and every extraction request served from the cache — including
+// concurrent ones — reuses the same compiled evaluators. Warming also
+// freezes the automata, guaranteeing no code path can mutate a cached
+// plan's machines.
+func (p *Plan) warm() {
+	if p.p != nil {
+		p.p.Prepare()
+	}
+	if p.ps != nil {
+		p.ps.Prepare()
+	}
+	if p.s != nil {
+		p.s.Automaton().Prepare()
+	}
 }
 
 // selfSplittable mirrors the façade's procedure selection: the

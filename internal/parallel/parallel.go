@@ -9,6 +9,8 @@ package parallel
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -189,6 +191,10 @@ func CollectionEval(p *vsa.Automaton, docsIn []string, workers int) []*span.Rela
 // documents form the task pool — the paper's observation that splitting
 // helps even when the input is already a collection, by giving the
 // scheduler many small tasks. Results are per-document relations.
+// Segments are produced by a goroutine that splits documents on demand and
+// feeds the bounded task channel, so memory stays O(workers) tasks plus
+// one document's spans regardless of collection size, instead of
+// materializing every segment of every document up-front.
 func CollectionEvalSplit(ps *vsa.Automaton, docsIn []string, splitFn func(string) []span.Span, workers int) []*span.Relation {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -196,12 +202,6 @@ func CollectionEvalSplit(ps *vsa.Automaton, docsIn []string, splitFn func(string
 	type task struct {
 		doc int
 		seg Segment
-	}
-	var tasks []task
-	for i, d := range docsIn {
-		for _, sp := range splitFn(d) {
-			tasks = append(tasks, task{i, Segment{sp, sp.In(d)}})
-		}
 	}
 	type result struct {
 		doc int
@@ -220,10 +220,16 @@ func CollectionEvalSplit(ps *vsa.Automaton, docsIn []string, splitFn func(string
 		}()
 	}
 	go func() {
-		for _, t := range tasks {
-			jobs <- t
+		// Producer: split one document at a time; the bounded jobs channel
+		// throttles splitting to the pool's consumption rate.
+		for i, d := range docsIn {
+			for _, sp := range splitFn(d) {
+				jobs <- task{i, Segment{sp, sp.In(d)}}
+			}
 		}
 		close(jobs)
+	}()
+	go func() {
 		wg.Wait()
 		close(results)
 	}()
@@ -249,10 +255,19 @@ type Measurement struct {
 	Tuples     int
 }
 
+// ErrSplitMismatch is returned by Measure and MeasureCollection when split
+// and sequential evaluation disagree — the defining symptom of running a
+// plan that is not split-correct for its splitter. The Measurement
+// returned alongside it still carries the timings, so callers can report
+// the failing configuration.
+var ErrSplitMismatch = errors.New("parallel: split evaluation disagrees with sequential evaluation; the spanner is not split-correct for this splitter")
+
 // Measure times sequential evaluation of p against split evaluation of ps
 // over the segments, checks that the outputs agree, and reports the
-// speedup. The comparison is the experiment of Section 1.
-func Measure(name string, p, ps *vsa.Automaton, doc string, segments []Segment, workers int) Measurement {
+// speedup. The comparison is the experiment of Section 1. If the outputs
+// disagree the timings are returned together with an error wrapping
+// ErrSplitMismatch — a library must not panic on data-dependent input.
+func Measure(name string, p, ps *vsa.Automaton, doc string, segments []Segment, workers int) (Measurement, error) {
 	t0 := time.Now()
 	seq := Sequential(p, doc)
 	seqDur := time.Since(t0)
@@ -260,47 +275,49 @@ func Measure(name string, p, ps *vsa.Automaton, doc string, segments []Segment, 
 	par := SplitEval(ps, segments, workers)
 	parDur := time.Since(t1)
 	seq.Dedupe()
-	if !seq.Equal(par) {
-		panic("parallel: split evaluation disagrees with sequential evaluation; the spanner is not split-correct for this splitter")
-	}
-	return Measurement{
+	m := Measurement{
 		Name:       name,
 		Sequential: seqDur,
 		Split:      parDur,
 		Speedup:    float64(seqDur) / float64(parDur),
 		Tuples:     seq.Len(),
 	}
+	if !seq.Equal(par) {
+		return m, fmt.Errorf("%s: %w", name, ErrSplitMismatch)
+	}
+	return m, nil
 }
 
 // MeasureCollection times whole-document scheduling against
 // split-segment scheduling on a document collection with the same worker
-// count, mirroring the paper's Spark experiments (Reuters, Amazon).
-func MeasureCollection(name string, p, ps *vsa.Automaton, docsIn []string, splitFn func(string) []span.Span, workers int) Measurement {
+// count, mirroring the paper's Spark experiments (Reuters, Amazon). Like
+// Measure, a disagreement between the two schedules is reported as an
+// error wrapping ErrSplitMismatch rather than a panic.
+func MeasureCollection(name string, p, ps *vsa.Automaton, docsIn []string, splitFn func(string) []span.Span, workers int) (Measurement, error) {
 	t0 := time.Now()
 	whole := CollectionEval(p, docsIn, workers)
 	wholeDur := time.Since(t0)
 	t1 := time.Now()
 	split := CollectionEvalSplit(ps, docsIn, splitFn, workers)
 	splitDur := time.Since(t1)
-	tuples := 0
-	for i := range whole {
-		whole[i].Dedupe()
-		aligned, err := split[i].Project(whole[i].Vars)
-		if err != nil {
-			panic(err)
-		}
-		if !aligned.Equal(whole[i]) {
-			panic("parallel: split collection evaluation disagrees with direct evaluation")
-		}
-		tuples += whole[i].Len()
-	}
-	return Measurement{
+	m := Measurement{
 		Name:       name,
 		Sequential: wholeDur,
 		Split:      splitDur,
 		Speedup:    float64(wholeDur) / float64(splitDur),
-		Tuples:     tuples,
 	}
+	for i := range whole {
+		whole[i].Dedupe()
+		aligned, err := split[i].Project(whole[i].Vars)
+		if err != nil {
+			return m, fmt.Errorf("%s: document %d: %w", name, i, err)
+		}
+		if !aligned.Equal(whole[i]) {
+			return m, fmt.Errorf("%s: document %d: %w", name, i, ErrSplitMismatch)
+		}
+		m.Tuples += whole[i].Len()
+	}
+	return m, nil
 }
 
 // SortSpans is a small helper for tests: sorts spans in document order.

@@ -2,6 +2,7 @@ package parallel
 
 import (
 	"context"
+	"errors"
 
 	"testing"
 
@@ -30,7 +31,8 @@ func TestSplitEvalEqualsSequential(t *testing.T) {
 
 func TestSplitEvalCatchesNonSplitCorrectness(t *testing.T) {
 	// Splitting a 2-byte-span extractor by unit tokens is not
-	// split-correct; Measure must detect the mismatch and panic.
+	// split-correct; Measure must detect the mismatch and report it as an
+	// error (wrapping ErrSplitMismatch), not panic inside library code.
 	p := regexformula.MustCompile(".*y{ab}.*")
 	s, err := core.NewSplitter(regexformula.MustCompile(".*x{.}.*"))
 	if err != nil {
@@ -38,19 +40,35 @@ func TestSplitEvalCatchesNonSplitCorrectness(t *testing.T) {
 	}
 	doc := "abab"
 	segs := SegmentsOf(doc, s.Split(doc))
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Measure must panic when the outputs disagree")
-		}
-	}()
-	Measure("bad", p, p, doc, segs, 2)
+	m, err := Measure("bad", p, p, doc, segs, 2)
+	if !errors.Is(err, ErrSplitMismatch) {
+		t.Fatalf("err = %v, want ErrSplitMismatch", err)
+	}
+	if m.Sequential <= 0 || m.Split <= 0 {
+		t.Fatalf("measurement timings must survive a mismatch: %+v", m)
+	}
+}
+
+func TestMeasureCollectionCatchesNonSplitCorrectness(t *testing.T) {
+	p := regexformula.MustCompile(".*y{ab}.*")
+	s, err := core.NewSplitter(regexformula.MustCompile(".*x{.}.*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = MeasureCollection("bad", p, p, []string{"abab", "ab"}, s.Split, 2)
+	if !errors.Is(err, ErrSplitMismatch) {
+		t.Fatalf("err = %v, want ErrSplitMismatch", err)
+	}
 }
 
 func TestMeasureReportsAgreeingRun(t *testing.T) {
 	p := library.NegativeSentiment()
 	doc := corpus.Wikipedia(3, 2000) + "very bad coffee."
 	segs := SegmentsOf(doc, library.FastSentenceSplit(doc))
-	m := Measure("wiki", p, p, doc, segs, 2)
+	m, err := Measure("wiki", p, p, doc, segs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if m.Tuples == 0 {
 		t.Fatal("expected at least one extraction")
 	}
@@ -87,7 +105,10 @@ func TestCollectionEval(t *testing.T) {
 func TestMeasureCollection(t *testing.T) {
 	p := library.NegativeSentiment()
 	docsIn := corpus.Reviews(41, 60)
-	m := MeasureCollection("amazon", p, p, docsIn, library.FastSentenceSplit, 3)
+	m, err := MeasureCollection("amazon", p, p, docsIn, library.FastSentenceSplit, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if m.Tuples == 0 {
 		t.Fatal("expected some sentiment extractions")
 	}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/alphabet"
 )
@@ -37,10 +38,20 @@ type Automaton struct {
 	States []State
 
 	// Lazily computed per-state suffix-universality, used by Eval to emit
-	// completed assignments early. Computed on first evaluation; the
-	// automaton must not be mutated afterwards.
+	// completed assignments early.
 	suffixOnce sync.Once
 	suffixUni  []bool
+
+	// Lazily compiled evaluation program (byte-class table, per-class
+	// transition lists, lazy DFA; see dfa.go), shared by every evaluation
+	// of this automaton.
+	progOnce sync.Once
+	progVal  *evalProg
+
+	// frozen is set when the first evaluation cache is built. Mutating a
+	// frozen automaton would silently serve stale cached results, so
+	// AddEdge/AddFinal panic instead; construct a Clone to modify.
+	frozen atomic.Bool
 }
 
 // NewAutomaton returns an automaton with the given variable names and a
@@ -65,8 +76,12 @@ func (a *Automaton) AddState() int {
 	return len(a.States) - 1
 }
 
-// AddEdge adds a transition. Duplicate transitions are ignored.
+// AddEdge adds a transition. Duplicate transitions are ignored. AddEdge
+// panics if the automaton has been evaluated (or Prepared): the evaluation
+// caches built on first use would silently serve results for the old
+// transition relation. Clone the automaton to extend it.
 func (a *Automaton) AddEdge(from int, ops OpSet, class alphabet.Class, to int) {
+	a.checkMutable("AddEdge")
 	e := Edge{ops, class, to}
 	for _, f := range a.States[from].Edges {
 		if f == e {
@@ -77,13 +92,25 @@ func (a *Automaton) AddEdge(from int, ops OpSet, class alphabet.Class, to int) {
 }
 
 // AddFinal marks state q as accepting with the final operation set ops.
+// Like AddEdge, it panics once evaluation caches exist.
 func (a *Automaton) AddFinal(q int, ops OpSet) {
+	a.checkMutable("AddFinal")
 	for _, f := range a.States[q].Finals {
 		if f == ops {
 			return
 		}
 	}
 	a.States[q].Finals = append(a.States[q].Finals, ops)
+}
+
+// checkMutable panics if evaluation caches have been built: the cached
+// suffix-universality, byte-class table and DFA all describe the
+// transition relation at freeze time, and mutating past them would
+// silently serve stale results.
+func (a *Automaton) checkMutable(op string) {
+	if a.frozen.Load() {
+		panic("vsa: " + op + " on an automaton that has been evaluated; evaluation caches would go stale — Clone it to modify")
+	}
 }
 
 // NumStates returns the number of states.

@@ -108,6 +108,7 @@ func (a *Automaton) Determinize(limit int) (*Automaton, error) {
 // into a single class-union transition, shrinking automata produced by
 // atom-splitting constructions. The language is unchanged.
 func (a *Automaton) MergeEdges() {
+	a.checkMutable("MergeEdges")
 	for q := range a.States {
 		type k struct {
 			ops OpSet

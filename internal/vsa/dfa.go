@@ -1,0 +1,417 @@
+package vsa
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+
+	"repro/internal/alphabet"
+)
+
+// This file implements the compiled evaluation core: a byte→equivalence-
+// class table per automaton, per-(state, class) transition lists, and a
+// lazily determinized (subset-construction) DFA whose transition cache is
+// shared across Eval/EvalBool calls — including concurrent calls from the
+// parallel worker pools, which evaluate the same split-spanner automaton
+// on many segments at once. The reference NFA simulations this replaces
+// are retained as EvalReference/EvalBoolReference in eval.go and
+// cross-checked by fuzzing.
+
+// progEdge is one compiled transition: perform ops at the current
+// boundary, then move to state to (the consumed byte is implied by the
+// (state, class) bucket the edge lives in).
+type progEdge struct {
+	ops OpSet
+	to  int32
+}
+
+// evalProg is the compiled, immutable evaluation program of an automaton:
+// built once under Automaton.progOnce, read-only afterwards (and hence
+// safe for unsynchronized concurrent use — only the lazy DFA beneath it
+// has mutable state, guarded by its own lock).
+type evalProg struct {
+	nv       int // number of variables
+	nclasses int // number of byte equivalence classes
+	nstates  int // number of automaton states
+	classOf  [256]uint8
+	// succ[q*nclasses+c] lists the transitions of state q on any byte of
+	// class c. The per-byte Class.Has test of the interpreted loop is gone:
+	// membership was resolved for the whole class at build time.
+	succ     [][]progEdge
+	finals   [][]OpSet
+	hasFinal []bool
+	uni      []bool // suffix-universality, shared with the reference path
+	dfa      *lazyDFA
+}
+
+// Sentinel DFA transition values. State 0 is the canonical dead state
+// (empty subset); state 1 is the start state.
+const (
+	dfaDead    int32 = 0
+	dfaStart   int32 = 1
+	dfaUnknown int32 = -1
+	// dfaOverflow marks a transition whose target subset was not cached
+	// because the DFA hit maxDFAStates; evaluation falls back to direct
+	// subset simulation from there (sound, just slower) instead of letting
+	// an adversarial automaton materialize 2^n states.
+	dfaOverflow int32 = -2
+)
+
+// maxDFAStates bounds the lazily built DFA. Real extractors determinize to
+// a handful of subsets per byte class; the bound only matters for
+// adversarial inputs.
+const maxDFAStates = 1 << 12
+
+// dfaState is one subset-construction state.
+type dfaState struct {
+	set   []int32 // sorted member states of the underlying automaton
+	final bool    // some member accepts (has a final operation set)
+	trans []int32 // per byte class: successor id or a sentinel
+}
+
+// lazyDFA is the shared transition cache. Readers walk it under RLock;
+// a missing transition is filled in under the write lock and becomes
+// visible to every later evaluation of the same automaton — the
+// engine's plan cache keeps the automaton (and therefore this cache)
+// alive across requests.
+type lazyDFA struct {
+	mu     sync.RWMutex
+	states []dfaState
+	index  map[string]int32 // encoded subset → state id
+}
+
+func setKey(set []int32) string {
+	b := make([]byte, 4*len(set))
+	for i, q := range set {
+		b[4*i] = byte(q)
+		b[4*i+1] = byte(q >> 8)
+		b[4*i+2] = byte(q >> 16)
+		b[4*i+3] = byte(q >> 24)
+	}
+	return string(b)
+}
+
+// prog returns the compiled evaluation program, building it on first use.
+// Building freezes the automaton: see AddEdge/AddFinal.
+func (a *Automaton) prog() *evalProg {
+	a.progOnce.Do(func() {
+		a.frozen.Store(true)
+		a.progVal = a.buildProg()
+	})
+	return a.progVal
+}
+
+// Prepare forces construction of the evaluation caches (byte-class table,
+// compiled transitions, DFA start state, suffix-universality) so that the
+// first evaluation does not pay for them. It freezes the automaton: any
+// later AddEdge/AddFinal panics. The engine calls Prepare when compiling a
+// plan, so plans served from the cache carry warmed evaluators.
+func (a *Automaton) Prepare() {
+	a.prog()
+	a.suffixUniversality()
+}
+
+func (a *Automaton) buildProg() *evalProg {
+	classOf, reps := alphabet.ClassTable(a.Classes())
+	nc := len(reps)
+	n := len(a.States)
+	p := &evalProg{
+		nv:       len(a.Vars),
+		nclasses: nc,
+		nstates:  n,
+		classOf:  classOf,
+		succ:     make([][]progEdge, n*nc),
+		finals:   make([][]OpSet, n),
+		hasFinal: make([]bool, n),
+		uni:      a.suffixUniversality(),
+	}
+	for q, st := range a.States {
+		p.finals[q] = st.Finals
+		p.hasFinal[q] = len(st.Finals) > 0
+		for _, e := range st.Edges {
+			for c, rep := range reps {
+				if e.Class.Has(rep) {
+					p.succ[q*nc+c] = append(p.succ[q*nc+c], progEdge{e.Ops, int32(e.To)})
+				}
+			}
+		}
+	}
+	d := &lazyDFA{index: make(map[string]int32, 16)}
+	dead := dfaState{trans: make([]int32, nc)} // all-zero: loops on itself
+	start := dfaState{
+		set:   []int32{int32(a.Start)},
+		final: p.hasFinal[a.Start],
+		trans: make([]int32, nc),
+	}
+	for c := range start.trans {
+		start.trans[c] = dfaUnknown
+	}
+	d.states = append(d.states, dead, start)
+	d.index[setKey(nil)] = dfaDead
+	d.index[setKey(start.set)] = dfaStart
+	p.dfa = d
+	return p
+}
+
+// dfaStep resolves the transition (from, class) under the write lock,
+// creating the successor subset state if needed. It returns the resolved
+// value, which is also cached (including the overflow sentinel, so a DFA
+// that hit the bound does not retry the construction on every byte).
+func (p *evalProg) dfaStep(from int32, class uint8) int32 {
+	d := p.dfa
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if t := d.states[from].trans[class]; t != dfaUnknown {
+		return t // resolved by a concurrent evaluation
+	}
+	succ := p.subsetSucc(d.states[from].set, class)
+	key := setKey(succ)
+	to, ok := d.index[key]
+	if !ok {
+		if len(d.states) >= maxDFAStates {
+			d.states[from].trans[class] = dfaOverflow
+			return dfaOverflow
+		}
+		st := dfaState{set: succ, trans: make([]int32, p.nclasses)}
+		for c := range st.trans {
+			st.trans[c] = dfaUnknown
+		}
+		for _, q := range succ {
+			if p.hasFinal[q] {
+				st.final = true
+				break
+			}
+		}
+		to = int32(len(d.states))
+		d.states = append(d.states, st)
+		d.index[key] = to
+	}
+	d.states[from].trans[class] = to
+	return to
+}
+
+// subsetSucc computes the sorted successor subset of set on class.
+func (p *evalProg) subsetSucc(set []int32, class uint8) []int32 {
+	var mark []bool
+	var out []int32
+	for _, q := range set {
+		for _, e := range p.succ[int(q)*p.nclasses+int(class)] {
+			if mark == nil {
+				mark = make([]bool, p.nstates)
+			}
+			if !mark[e.to] {
+				mark[e.to] = true
+				out = append(out, e.to)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EvalBool reports whether the Boolean semantics of a accepts the
+// document, i.e. whether ⟦a⟧(d) is nonempty (the automaton is functional,
+// so an accepting run exists iff some tuple is produced). The walk is a
+// single byte-indexed lookup per position on the lazily built DFA; on a
+// cache miss the subset transition is computed once and shared with every
+// later call. If the DFA outgrows its state bound the remainder of the
+// document runs on a direct subset simulation.
+func (a *Automaton) EvalBool(doc string) bool {
+	// rlockChunk bounds how long one scan holds the read lock: a pending
+	// writer (a dfaStep from another goroutine) blocks new RLock
+	// acquisitions, so releasing periodically keeps one long document from
+	// serializing the whole worker pool behind a warm-up miss.
+	const rlockChunk = 1 << 12
+	p := a.prog()
+	d := p.dfa
+	cur := dfaStart
+	d.mu.RLock()
+	for i := 0; i < len(doc); i++ {
+		if i&(rlockChunk-1) == rlockChunk-1 {
+			d.mu.RUnlock()
+			d.mu.RLock()
+		}
+		c := p.classOf[doc[i]]
+		t := d.states[cur].trans[c]
+		if t == dfaUnknown {
+			d.mu.RUnlock()
+			t = p.dfaStep(cur, c)
+			d.mu.RLock()
+		}
+		if t == dfaDead {
+			d.mu.RUnlock()
+			return false
+		}
+		if t == dfaOverflow {
+			set := append([]int32(nil), d.states[cur].set...)
+			d.mu.RUnlock()
+			return p.simBool(set, doc[i:])
+		}
+		cur = t
+	}
+	final := d.states[cur].final
+	d.mu.RUnlock()
+	return final
+}
+
+// simBool is the uncached subset simulation, used past the DFA state
+// bound. Sparse sets, no per-byte allocation.
+func (p *evalProg) simBool(set []int32, doc string) bool {
+	cur := set
+	next := make([]int32, 0, len(set))
+	mark := make([]bool, p.nstates)
+	for i := 0; i < len(doc); i++ {
+		c := int(p.classOf[doc[i]])
+		next = next[:0]
+		for _, q := range cur {
+			for _, e := range p.succ[int(q)*p.nclasses+c] {
+				if !mark[e.to] {
+					mark[e.to] = true
+					next = append(next, e.to)
+				}
+			}
+		}
+		for _, q := range next {
+			mark[q] = false
+		}
+		if len(next) == 0 {
+			return false
+		}
+		cur, next = next, cur
+	}
+	for _, q := range cur {
+		if p.hasFinal[q] {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------- Eval: sparse-set frontier with arena-backed assignments ----------
+
+// evalCell is one frontier entry: an automaton state plus an offset into
+// the position's arena where its 2·nv-slot partial assignment lives.
+type evalCell struct {
+	state int32
+	off   int32
+}
+
+// cellSlot is one open-addressing hash-table slot; ver stamps the document
+// position it belongs to, so the table is "cleared" by bumping the version
+// instead of zeroing memory.
+type cellSlot struct {
+	ver  uint32
+	cell int32 // index into the position's cell slice
+}
+
+// evalScratch holds all per-evaluation buffers. Eval is called
+// concurrently by the worker pools on a shared automaton, so scratch is
+// pooled rather than cached on the automaton; after the first few calls
+// the per-byte loop performs no allocation in the common case.
+type evalScratch struct {
+	cur, next   []evalCell
+	curA, nextA []int32 // partial-assignment arenas (stride 2·nv)
+	tmp         []int32
+	table       []cellSlot
+	ver         uint32
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(evalScratch) }}
+
+func (s *evalScratch) resetTable(n int) {
+	want := 16
+	for want < 4*n {
+		want <<= 1
+	}
+	if len(s.table) < want {
+		s.table = make([]cellSlot, want)
+		s.ver = 0
+	}
+	s.ver++
+	if s.ver == 0 { // wrapped: stamps from the previous epoch could alias
+		for i := range s.table {
+			s.table[i] = cellSlot{}
+		}
+		s.ver = 1
+	}
+}
+
+func hashCell(state int32, pt []int32) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h = (h ^ uint64(uint32(state))) * prime64
+	for _, v := range pt {
+		h = (h ^ uint64(uint32(v))) * prime64
+	}
+	return h
+}
+
+// place inserts (state, pt) into next/nextA unless an identical cell is
+// already there. grow doubles the table when load exceeds 1/2.
+func (s *evalScratch) place(state int32, pt []int32, stride int) {
+	mask := uint64(len(s.table) - 1)
+	i := hashCell(state, pt) & mask
+	for {
+		slot := &s.table[i]
+		if slot.ver != s.ver {
+			off := int32(len(s.nextA))
+			s.nextA = append(s.nextA, pt...)
+			s.next = append(s.next, evalCell{state, off})
+			*slot = cellSlot{s.ver, int32(len(s.next) - 1)}
+			if 2*len(s.next) > len(s.table) {
+				s.grow(stride)
+			}
+			return
+		}
+		c := s.next[slot.cell]
+		if c.state == state && equalPartial(s.nextA[c.off:int(c.off)+stride], pt) {
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func equalPartial(a, b []int32) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *evalScratch) grow(stride int) {
+	s.table = make([]cellSlot, 2*len(s.table))
+	s.ver = 1
+	mask := uint64(len(s.table) - 1)
+	for ci, c := range s.next {
+		pt := s.nextA[c.off : int(c.off)+stride]
+		i := hashCell(c.state, pt) & mask
+		for s.table[i].ver == s.ver {
+			i = (i + 1) & mask
+		}
+		s.table[i] = cellSlot{s.ver, int32(ci)}
+	}
+}
+
+// applyOps mutates pt in place: every operation of ops is performed at the
+// given boundary (positions are the paper's 1-based endpoints).
+func applyOps(pt []int32, ops OpSet, boundary int) {
+	for o := uint64(ops); o != 0; o &= o - 1 {
+		// bit 2v = open v (slot 2v), bit 2v+1 = close v (slot 2v+1): the
+		// bit index is the slot index.
+		pt[bits.TrailingZeros64(o)] = int32(boundary + 1)
+	}
+}
+
+func completePartial(pt []int32) bool {
+	for _, v := range pt {
+		if v == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -15,13 +15,6 @@ import (
 // Positions are the paper's 1-based span endpoints.
 type partial []int32
 
-func (p partial) key(buf []byte) string {
-	for i, v := range p {
-		binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
-	}
-	return string(buf)
-}
-
 func (p partial) apply(ops OpSet, boundary int, numVars int) partial {
 	if ops == 0 {
 		return p
@@ -44,10 +37,11 @@ func (p partial) apply(ops OpSet, boundary int, numVars int) partial {
 // When a completed assignment reaches such a state it can be emitted
 // immediately and dropped, which keeps evaluation linear for the common
 // "prefix · extraction · Σ*" spanner shape instead of carrying every
-// completed tuple to the end of the document. The automaton must not be
-// mutated after its first evaluation.
+// completed tuple to the end of the document. Computing it freezes the
+// automaton (see AddEdge).
 func (a *Automaton) suffixUniversality() []bool {
 	a.suffixOnce.Do(func() {
+		a.frozen.Store(true)
 		a.suffixUni = a.computeSuffixUniversality()
 	})
 	return a.suffixUni
@@ -151,13 +145,113 @@ func (a *Automaton) computeSuffixUniversality() []bool {
 	return out
 }
 
-// Eval computes the span relation ⟦a⟧(d). Evaluation is a forward dynamic
-// program over document boundaries keeping, per state, the set of distinct
-// in-progress variable assignments; completed assignments become tuples.
-// Assignments that are complete and sit in a suffix-universal state are
-// emitted immediately, so the running time is output-sensitive: linear in
-// |d| times the number of live (state, assignment) pairs per position.
+// Eval computes the span relation ⟦a⟧(d) on the compiled evaluation core
+// (see dfa.go). A DFA prescan rejects non-matching documents at
+// byte-class-lookup speed — the dominant case when a split-spanner runs
+// over many segments. Matching documents run a forward dynamic program
+// over a sparse frontier of (state, assignment) cells: byte-class-indexed
+// transition lists replace the per-edge class test, assignments live in a
+// reused arena, and cells are deduplicated through a versioned
+// open-addressing table, so the per-byte loop is allocation-free in the
+// common case. Assignments that are complete and sit in a suffix-universal
+// state are emitted immediately, keeping the run output-sensitive.
+// EvalReference retains the map-based simulation this replaced; fuzzing
+// asserts the two agree.
 func (a *Automaton) Eval(doc string) *span.Relation {
+	p := a.prog()
+	rel := span.NewRelation(a.Vars...)
+	// ⟦a⟧(d) = ∅ iff no accepting run exists; the DFA decides that without
+	// touching the assignment machinery.
+	if !a.EvalBool(doc) {
+		return rel
+	}
+	nv := p.nv
+	stride := 2 * nv
+	sc := scratchPool.Get().(*evalScratch)
+	sc.cur, sc.next = sc.cur[:0], sc.next[:0]
+	sc.curA, sc.nextA = sc.curA[:0], sc.nextA[:0]
+	if cap(sc.tmp) < stride {
+		sc.tmp = make([]int32, stride)
+	}
+	tmp := sc.tmp[:stride]
+
+	emitted := map[string]bool{}
+	emitBuf := make([]byte, 4*stride)
+	emit := func(pt []int32) {
+		for i, v := range pt {
+			binary.LittleEndian.PutUint32(emitBuf[4*i:], uint32(v))
+		}
+		k := string(emitBuf)
+		if emitted[k] {
+			return
+		}
+		emitted[k] = true
+		t := make(span.Tuple, nv)
+		for v := 0; v < nv; v++ {
+			t[v] = span.Span{Start: int(pt[2*v]), End: int(pt[2*v+1])}
+		}
+		rel.Tuples = append(rel.Tuples, t)
+	}
+	uni := p.uni
+	place := func(state int32, pt []int32) {
+		if uni[state] && completePartial(pt) {
+			emit(pt)
+			return
+		}
+		sc.place(state, pt, stride)
+	}
+	// Seed the frontier with the start state and the all-unset assignment.
+	sc.resetTable(1)
+	for i := range tmp {
+		tmp[i] = 0
+	}
+	place(int32(a.Start), tmp)
+	sc.cur, sc.next = sc.next, sc.cur
+	sc.curA, sc.nextA = sc.nextA, sc.curA
+
+	nc := p.nclasses
+	for pos := 0; pos < len(doc) && len(sc.cur) > 0; pos++ {
+		c := int(p.classOf[doc[pos]])
+		sc.next = sc.next[:0]
+		sc.nextA = sc.nextA[:0]
+		sc.resetTable(len(sc.cur))
+		for _, cell := range sc.cur {
+			src := sc.curA[cell.off : int(cell.off)+stride]
+			for _, e := range p.succ[int(cell.state)*nc+c] {
+				if e.ops == 0 {
+					place(e.to, src)
+				} else {
+					copy(tmp, src)
+					applyOps(tmp, e.ops, pos)
+					place(e.to, tmp)
+				}
+			}
+		}
+		sc.cur, sc.next = sc.next, sc.cur
+		sc.curA, sc.nextA = sc.nextA, sc.curA
+	}
+	for _, cell := range sc.cur {
+		src := sc.curA[cell.off : int(cell.off)+stride]
+		for _, f := range p.finals[cell.state] {
+			if f == 0 {
+				emit(src)
+				continue
+			}
+			copy(tmp, src)
+			applyOps(tmp, f, len(doc))
+			emit(tmp)
+		}
+	}
+	scratchPool.Put(sc)
+	rel.Dedupe()
+	return rel
+}
+
+// EvalReference is the retained reference implementation of Eval: a direct
+// NFA simulation with a string-keyed frontier, kept verbatim from before
+// the compiled evaluation core so that fuzzing and the benchmark suite can
+// compare the two paths. Semantics are identical to Eval.
+func (a *Automaton) EvalReference(doc string) *span.Relation {
 	nv := len(a.Vars)
 	rel := span.NewRelation(a.Vars...)
 	type cell struct {
@@ -230,10 +324,10 @@ func (a *Automaton) Eval(doc string) *span.Relation {
 	return rel
 }
 
-// EvalBool reports whether the Boolean (0-ary) semantics of a accepts the
-// document, i.e. whether ⟦a⟧(d) is nonempty. It avoids tuple bookkeeping
-// and runs a plain state-set simulation.
-func (a *Automaton) EvalBool(doc string) bool {
+// EvalBoolReference is the retained reference implementation of EvalBool:
+// a plain map-based state-set simulation, kept for differential testing
+// against the lazy-DFA path.
+func (a *Automaton) EvalBoolReference(doc string) bool {
 	cur := map[int]bool{a.Start: true}
 	for pos := 0; pos < len(doc); pos++ {
 		b := doc[pos]

@@ -97,8 +97,17 @@ func (p *Spanner) Vars() []string { return append([]string(nil), p.auto.Vars...)
 // Eval returns the span relation extracted from the document.
 func (p *Spanner) Eval(doc string) *Relation { return p.auto.Eval(doc) }
 
-// Matches reports whether the spanner produces at least one tuple.
+// Matches reports whether the spanner produces at least one tuple. It
+// runs on the lazily determinized, byte-class-compressed DFA, so repeated
+// calls on the same spanner amortize to one table lookup per byte.
 func (p *Spanner) Matches(doc string) bool { return p.auto.EvalBool(doc) }
+
+// Prepare warms the spanner's evaluation caches (byte-class table,
+// compiled transitions, lazy-DFA start state) so the first Eval/Matches
+// call does not pay for building them — useful before handing the spanner
+// to a worker pool. Prepare freezes the underlying automaton: mutating it
+// afterwards panics.
+func (p *Spanner) Prepare() { p.auto.Prepare() }
 
 // Determinize returns an equivalent deterministic spanner
 // (Proposition 4.4); exponential in the worst case.
