@@ -225,7 +225,11 @@ func BenchmarkEvalThroughput(b *testing.B) {
 // against the retained reference NFA simulations (EvalReference /
 // EvalBoolReference — the implementation before this optimization), plus
 // split evaluation of the same spanner over a multi-MB corpus. The
-// Reference sub-benchmarks are the "before" numbers.
+// Reference sub-benchmarks are the "before" numbers. Eval runs over
+// three match densities — the dense review corpus, a sparse corpus with
+// a handful of matches per MB, and a non-matching corpus — because the
+// match-window localizer's whole point is that extraction cost should
+// track match density, not document length.
 func BenchmarkEvalCore(b *testing.B) {
 	// Review text, so the extractor genuinely matches: the assignment
 	// machinery runs, not just the DFA prescan rejecting everything.
@@ -233,8 +237,20 @@ func BenchmarkEvalCore(b *testing.B) {
 	p := library.NegativeSentiment()
 	p.Prepare()
 	segs := parallel.SegmentsOf(doc, library.FastSentenceSplit(doc))
-	b.Logf("corpus: %d bytes, %d sentence segments, %d tuples",
+	sparse := corpus.SparseSentiment(1, len(doc), 64<<10)
+	nonMatching := corpus.Wikipedia(1, len(doc))
+	b.Logf("dense corpus: %d bytes, %d sentence segments, %d tuples",
 		len(doc), len(segs), p.Eval(doc).Len())
+	b.Logf("sparse corpus: %d bytes, %d tuples; non-matching corpus: %d bytes, %d tuples",
+		len(sparse), p.Eval(sparse).Len(), len(nonMatching), p.Eval(nonMatching).Len())
+	evalBench := func(doc string) func(*testing.B) {
+		return func(b *testing.B) {
+			b.SetBytes(int64(len(doc)))
+			for i := 0; i < b.N; i++ {
+				p.Eval(doc)
+			}
+		}
+	}
 	b.Run("EvalBool", func(b *testing.B) {
 		b.SetBytes(int64(len(doc)))
 		for i := 0; i < b.N; i++ {
@@ -247,12 +263,9 @@ func BenchmarkEvalCore(b *testing.B) {
 			p.EvalBoolReference(doc)
 		}
 	})
-	b.Run("Eval", func(b *testing.B) {
-		b.SetBytes(int64(len(doc)))
-		for i := 0; i < b.N; i++ {
-			p.Eval(doc)
-		}
-	})
+	b.Run("Eval", evalBench(doc))
+	b.Run("EvalSparse", evalBench(sparse))
+	b.Run("EvalNonMatching", evalBench(nonMatching))
 	b.Run("EvalReference", func(b *testing.B) {
 		b.SetBytes(int64(len(doc)))
 		for i := 0; i < b.N; i++ {

@@ -5,9 +5,12 @@
 //
 //	POST /v1/extract   extract a relation from a document. The document
 //	                   may be inline JSON, a raw request body, or a
-//	                   streamed multipart part; split-correct plans are
-//	                   evaluated segment-parallel while the document is
-//	                   still uploading.
+//	                   streamed multipart part. Streamed documents are
+//	                   buffered whole by default (sound for every
+//	                   splitter); with -stream-incremental — a locality
+//	                   assertion about the deployed splitters —
+//	                   split-correct plans are evaluated segment-parallel
+//	                   while the document is still uploading.
 //	POST /v1/check     split-correctness / self-splittability /
 //	                   disjointness verdicts for a formula pair, served
 //	                   from the plan cache.
@@ -45,19 +48,19 @@ func main() {
 		chunk     = flag.Int("chunk", 64<<10, "streaming read size in bytes")
 		limit     = flag.Int("limit", 0, "decision-procedure state limit (0 = library default)")
 		timeout   = flag.Duration("timeout", 0, "per-request timeout (0 = none)")
-		bufferAll = flag.Bool("buffer-all", false, "buffer streamed documents whole instead of segmenting incrementally (required for exactness with non-local splitters)")
+		streamInc = flag.Bool("stream-incremental", false, "segment streamed documents incrementally instead of buffering them whole; exact only for local splitters (separator-determined boundaries), so this asserts every deployed splitter is local")
 		maxDoc    = flag.Int64("max-doc", 0, "per-document memory budget in bytes (0 = 256 MiB, negative = unlimited)")
 	)
 	flag.Parse()
 
 	eng := engine.New(engine.Config{
-		PlanCache:    *cacheSize,
-		Workers:      *workers,
-		Batch:        *batch,
-		ChunkSize:    *chunk,
-		StateLimit:   *limit,
-		BufferAll:    *bufferAll,
-		MaxDocBuffer: *maxDoc,
+		PlanCache:         *cacheSize,
+		Workers:           *workers,
+		Batch:             *batch,
+		ChunkSize:         *chunk,
+		StateLimit:        *limit,
+		StreamIncremental: *streamInc,
+		MaxDocBuffer:      *maxDoc,
 	})
 	handler := newServer(eng)
 	if *timeout > 0 {

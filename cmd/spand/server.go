@@ -191,17 +191,21 @@ func (s *server) extract(w http.ResponseWriter, r *http.Request, req engine.Requ
 		})
 }
 
+// planErrStatus classifies a Plan error: a coalesced waiter can see its
+// own context cancelled while the plan is still compiling; that is the
+// client's doing, not a bad formula — classify it like evaluation-stage
+// cancellation (499, client closed request / timed out).
+func planErrStatus(err error) int {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return 499
+	}
+	return http.StatusBadRequest
+}
+
 func (s *server) runExtract(w http.ResponseWriter, r *http.Request, req engine.Request, ingest string, run func(*engine.Plan) (*span.Relation, error)) {
 	plan, hit, err := s.eng.Plan(r.Context(), req)
 	if err != nil {
-		// A coalesced waiter can see its own context cancelled while the
-		// plan is still compiling; that is the client's doing, not a bad
-		// formula — classify it like evaluation-stage cancellation.
-		status := http.StatusBadRequest
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			status = 499 // client closed request / timed out
-		}
-		writeError(w, status, err)
+		writeError(w, planErrStatus(err), err)
 		return
 	}
 	if ingest == "" {
@@ -245,13 +249,7 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	}
 	plan, hit, err := s.eng.Plan(r.Context(), req.engineRequest())
 	if err != nil {
-		// Same classification as runExtract: a coalesced waiter's own
-		// cancellation is not a bad request.
-		status := http.StatusBadRequest
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			status = 499 // client closed request / timed out
-		}
-		writeError(w, status, err)
+		writeError(w, planErrStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, planSection(plan, hit))

@@ -33,6 +33,7 @@ type extractResult struct {
 		SplitCorrect   string `json:"split_correct"`
 	} `json:"verdicts"`
 	CacheHit bool       `json:"cache_hit"`
+	Ingest   string     `json:"ingest"`
 	Vars     []string   `json:"vars"`
 	Count    int        `json:"count"`
 	Tuples   [][][2]int `json:"tuples"`
@@ -232,6 +233,71 @@ func TestCheckConcurrentSingleFlight(t *testing.T) {
 	}
 	if st.Hits+st.Coalesced != n-1 {
 		t.Fatalf("hits+coalesced = %d, want %d", st.Hits+st.Coalesced, n-1)
+	}
+}
+
+func TestStreamedIngestRequiresOptIn(t *testing.T) {
+	// The daemon defaults to buffering streamed documents whole; only the
+	// -stream-incremental locality opt-in may segment incrementally. Both
+	// configurations must return identical tuples.
+	raw := func(ts *httptest.Server) extractResult {
+		t.Helper()
+		url := ts.URL + "/v1/extract?spanner=" + url.QueryEscape(emailFormula) + "&splitter=" + url.QueryEscape(sentenceFormula)
+		req, err := http.NewRequest("POST", url, &slowChunks{s: testDoc, n: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return decodeExtract(t, resp)
+	}
+	def := httptest.NewServer(newServer(engine.New(engine.Config{Workers: 2, ChunkSize: 8})))
+	defer def.Close()
+	buffered := raw(def)
+	if buffered.Ingest != "buffered" {
+		t.Fatalf("default daemon ingest = %q, want buffered", buffered.Ingest)
+	}
+	opt := httptest.NewServer(newServer(engine.New(engine.Config{Workers: 2, ChunkSize: 8, StreamIncremental: true})))
+	defer opt.Close()
+	streamed := raw(opt)
+	if streamed.Ingest != "streamed" {
+		t.Fatalf("opt-in daemon ingest = %q, want streamed", streamed.Ingest)
+	}
+	if !reflect.DeepEqual(buffered.Tuples, streamed.Tuples) {
+		t.Fatalf("buffered %v != streamed %v", buffered.Tuples, streamed.Tuples)
+	}
+}
+
+func TestExtractInlineDocOverBudgetIs413(t *testing.T) {
+	// Regression: the inline JSON path previously bypassed MaxDocBuffer
+	// (only the reader paths enforced it), so an engine budget did not
+	// bound this endpoint's memory.
+	ts := httptest.NewServer(newServer(engine.New(engine.Config{Workers: 2, MaxDocBuffer: 128})))
+	defer ts.Close()
+	body, _ := json.Marshal(map[string]string{
+		"spanner": emailFormula,
+		"doc":     strings.Repeat("x", 256),
+	})
+	resp, err := http.Post(ts.URL+"/v1/extract", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status = %d (%s), want 413", resp.StatusCode, b)
+	}
+	// An in-budget document on the same daemon still extracts.
+	body, _ = json.Marshal(map[string]string{"spanner": emailFormula, "doc": testDoc})
+	resp, err = http.Post(ts.URL+"/v1/extract", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decodeExtract(t, resp); got.Count == 0 {
+		t.Fatal("in-budget document extracted nothing")
 	}
 }
 

@@ -1,16 +1,26 @@
 // Command splitbench regenerates the experiments of EXPERIMENTS.md: the
-// split-then-distribute speedups of the paper's Section 1 (E1–E5) and the
-// complexity-shape measurements for the decision procedures (T1–T8).
+// split-then-distribute speedups of the paper's Section 1 (E1–E5), the
+// complexity-shape measurements for the decision procedures (T1–T8), and
+// the evaluation-core throughput snapshot (EVAL) that tracks the hot
+// path across PRs.
 //
 // Usage:
 //
-//	splitbench [-exp all|E1|...|T8] [-bytes n] [-docs n] [-workers n] [-seed n]
+//	splitbench [-exp all|EVAL|E1|...|T8] [-bytes n] [-docs n] [-workers n] [-seed n] [-json file]
+//
+// With -json, the EVAL experiment additionally writes its measurements
+// (MB/s for EvalBool/Eval/SplitEval on the standard dense, sparse and
+// non-matching corpora) as a machine-readable snapshot, e.g.
+// BENCH_PR3.json — CI runs this to keep the benchmark path compiling and
+// to record the performance trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -27,31 +37,33 @@ import (
 )
 
 var (
-	expFlag = flag.String("exp", "all", "experiment id (E1..E5, T1..T8) or all")
-	bytesN  = flag.Int("bytes", 1<<21, "corpus size in bytes for E1-E3")
-	docsN   = flag.Int("docs", 3000, "collection size for E4-E5")
-	workers = flag.Int("workers", 5, "worker count (the paper uses 5 cores/nodes)")
-	seed    = flag.Uint64("seed", 1, "corpus seed")
+	expFlag  = flag.String("exp", "all", "experiment id (EVAL, E1..E5, T1..T8) or all")
+	bytesN   = flag.Int("bytes", 1<<21, "corpus size in bytes for E1-E3 and EVAL")
+	docsN    = flag.Int("docs", 3000, "collection size for E4-E5")
+	workers  = flag.Int("workers", 5, "worker count (the paper uses 5 cores/nodes)")
+	seed     = flag.Uint64("seed", 1, "corpus seed")
+	jsonPath = flag.String("json", "", "write the EVAL throughput snapshot to this file")
 )
 
 func main() {
 	flag.Parse()
 	exps := map[string]func(){
-		"E1": func() { ngramSpeedup("E1 Wikipedia 2-grams (paper: 2.10x)", corpus.Wikipedia(*seed, *bytesN), 2) },
-		"E2": func() { ngramSpeedup("E2 Wikipedia 3-grams (paper: 3.11x)", corpus.Wikipedia(*seed, *bytesN), 3) },
-		"E3": func() { ngramSpeedup("E3 PubMed 2-grams    (paper: 1.90x)", corpus.PubMed(*seed, *bytesN), 2) },
-		"E4": e4Reuters,
-		"E5": e5Amazon,
-		"T1": t1Containment,
-		"T2": t2WeakDeterminism,
-		"T3": t3Disjointness,
-		"T4": t4Cover,
-		"T5": t5SplitCorrect,
-		"T6": t6CanonicalSize,
-		"T7": t7Splittability,
-		"T8": t8Reasoning,
+		"EVAL": evalThroughput,
+		"E1":   func() { ngramSpeedup("E1 Wikipedia 2-grams (paper: 2.10x)", corpus.Wikipedia(*seed, *bytesN), 2) },
+		"E2":   func() { ngramSpeedup("E2 Wikipedia 3-grams (paper: 3.11x)", corpus.Wikipedia(*seed, *bytesN), 3) },
+		"E3":   func() { ngramSpeedup("E3 PubMed 2-grams    (paper: 1.90x)", corpus.PubMed(*seed, *bytesN), 2) },
+		"E4":   e4Reuters,
+		"E5":   e5Amazon,
+		"T1":   t1Containment,
+		"T2":   t2WeakDeterminism,
+		"T3":   t3Disjointness,
+		"T4":   t4Cover,
+		"T5":   t5SplitCorrect,
+		"T6":   t6CanonicalSize,
+		"T7":   t7Splittability,
+		"T8":   t8Reasoning,
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8"}
+	order := []string{"EVAL", "E1", "E2", "E3", "E4", "E5", "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8"}
 	if *expFlag == "all" {
 		for _, id := range order {
 			exps[id]()
@@ -64,6 +76,93 @@ func main() {
 		os.Exit(2)
 	}
 	run()
+}
+
+// perfResult is one throughput measurement of the EVAL snapshot.
+type perfResult struct {
+	Op     string  `json:"op"`
+	Corpus string  `json:"corpus"`
+	Bytes  int     `json:"bytes"`
+	MBPerS float64 `json:"mb_per_s"`
+	Tuples int     `json:"tuples"`
+}
+
+// perfSnapshot is the -json output: enough context to compare runs
+// across PRs without re-reading the benchmark code.
+type perfSnapshot struct {
+	Experiment string       `json:"experiment"`
+	GoVersion  string       `json:"go_version"`
+	NumCPU     int          `json:"num_cpu"`
+	Workers    int          `json:"workers"`
+	Results    []perfResult `json:"results"`
+}
+
+// evalThroughput measures the evaluation core on the standard corpora:
+// the dense-match review corpus (every few hundred bytes a match), the
+// sparse corpus (a match every 64 KB) and a non-matching corpus — the
+// three regimes of the bidirectional match-window localizer.
+func evalThroughput() {
+	header("EVAL evaluation-core throughput (MB/s)")
+	p := library.NegativeSentiment()
+	p.Prepare()
+	dense := strings.Join(corpus.Reviews(*seed, *bytesN/256), "\n")
+	// Keep the sparse corpus genuinely sparse-but-matching at any -bytes:
+	// a gap larger than a quarter of the corpus would leave it match-free.
+	matchEvery := 64 << 10
+	if matchEvery > *bytesN/4 {
+		matchEvery = *bytesN/4 + 1
+	}
+	sparse := corpus.SparseSentiment(*seed, *bytesN, matchEvery)
+	nonMatching := corpus.Wikipedia(*seed, *bytesN)
+	segs := parallel.SegmentsOf(dense, library.FastSentenceSplit(dense))
+
+	measure := func(op, corpusName, doc string, f func() int) perfResult {
+		// Warm up once, then time enough repetitions to smooth noise.
+		tuples := f()
+		const reps = 5
+		t0 := time.Now()
+		for i := 0; i < reps; i++ {
+			f()
+		}
+		dur := time.Since(t0)
+		mbs := float64(len(doc)) * reps / dur.Seconds() / 1e6
+		fmt.Printf("%-9s %-12s %9d bytes  %8.1f MB/s  %d tuples\n", op, corpusName, len(doc), mbs, tuples)
+		return perfResult{Op: op, Corpus: corpusName, Bytes: len(doc), MBPerS: mbs, Tuples: tuples}
+	}
+	var results []perfResult
+	results = append(results,
+		measure("EvalBool", "dense", dense, func() int {
+			if p.EvalBool(dense) {
+				return 1
+			}
+			return 0
+		}),
+		measure("Eval", "dense", dense, func() int { return p.Eval(dense).Len() }),
+		measure("Eval", "sparse", sparse, func() int { return p.Eval(sparse).Len() }),
+		measure("Eval", "nonmatching", nonMatching, func() int { return p.Eval(nonMatching).Len() }),
+		measure("SplitEval", "dense", dense, func() int { return parallel.SplitEval(p, segs, *workers).Len() }),
+	)
+	if *jsonPath == "" {
+		return
+	}
+	snap := perfSnapshot{
+		Experiment: "EVAL",
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		Workers:    *workers,
+		Results:    results,
+	}
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "EVAL: %v\n", err)
+		os.Exit(1)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(*jsonPath, out, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "EVAL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("snapshot written to %s\n", *jsonPath)
 }
 
 func header(title string) {

@@ -152,6 +152,20 @@ func byteName(b byte) string {
 	return fmt.Sprintf("\\x%02x", b)
 }
 
+// UnionAll returns the union of the given classes.
+func UnionAll(classes []Class) Class {
+	var u Class
+	for _, c := range classes {
+		u = u.Union(c)
+	}
+	return u
+}
+
+// CoversAll reports whether the classes together cover every byte — the
+// test behind universality analyses (a state can consume any input iff
+// its outgoing classes cover Σ).
+func CoversAll(classes []Class) bool { return UnionAll(classes) == Any }
+
 // Atoms computes the coarsest partition of the byte space into nonempty
 // classes ("atoms") such that every input class is a union of atoms. Only
 // bytes covered by at least one input class are partitioned; bytes outside

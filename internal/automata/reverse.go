@@ -1,0 +1,33 @@
+package automata
+
+// Reverse returns an NFA accepting the reversal of L(a): every edge
+// q --sym--> r becomes r --sym--> q, final states become start states and
+// start states become final. The construction is linear in the size of a
+// and needs no ε-transitions because the representation allows multiple
+// start states.
+//
+// Reversal is the substrate of bidirectional match localization (see
+// internal/vsa): a forward pass over a document finds positions where a
+// match can end, and a pass with the reversed automaton walks backwards
+// from each of them to find where that match can start, so the expensive
+// tagged simulation only runs between the two.
+func Reverse(a *NFA) *NFA {
+	out := New(a.NumSymbols)
+	isStart := make([]bool, a.Len())
+	for _, s := range a.Starts {
+		isStart[s] = true
+	}
+	for q := 0; q < a.Len(); q++ {
+		out.AddState(isStart[q])
+		if a.Final[q] {
+			out.AddStart(q)
+		}
+	}
+	for q, es := range a.Adj {
+		for _, e := range es {
+			out.AddEdge(e.To, e.Sym, q)
+		}
+	}
+	out.DedupeEdges()
+	return out
+}

@@ -1,0 +1,87 @@
+package automata
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func reverseWord(w []int) []int {
+	out := make([]int, len(w))
+	for i, s := range w {
+		out[len(w)-1-i] = s
+	}
+	return out
+}
+
+// TestReverseLanguage is the defining property: L(Reverse(A)) is exactly
+// the set of reversals of words in L(A), checked by simulation on random
+// automata and random words.
+func TestReverseLanguage(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		a := randomNFA(rng, 1+rng.Intn(3), 6)
+		r := Reverse(a)
+		for j := 0; j < 40; j++ {
+			w := make([]int, rng.Intn(7))
+			for k := range w {
+				w[k] = rng.Intn(a.NumSymbols)
+			}
+			if got, want := r.Accepts(reverseWord(w)), a.Accepts(w); got != want {
+				t.Fatalf("instance %d: Reverse accepts reverse(%v)=%v, original accepts=%v", i, w, got, want)
+			}
+		}
+	}
+}
+
+// TestReverseInvolution: reversing twice yields an equivalent automaton.
+func TestReverseInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 60; i++ {
+		a := randomNFA(rng, 2, 5)
+		rr := Reverse(Reverse(a))
+		eq, err := Equivalent(a, rr, 0)
+		if err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+		if !eq {
+			t.Fatalf("instance %d: double reversal changed the language", i)
+		}
+	}
+}
+
+// TestReverseFixedExample pins down the orientation on a concrete
+// automaton for "ab": the reversal must accept exactly "ba".
+func TestReverseFixedExample(t *testing.T) {
+	a := New(2)
+	q0 := a.AddState(false)
+	q1 := a.AddState(false)
+	q2 := a.AddState(true)
+	a.AddStart(q0)
+	a.AddEdge(q0, 0, q1)
+	a.AddEdge(q1, 1, q2)
+	r := Reverse(a)
+	if !r.Accepts([]int{1, 0}) {
+		t.Fatal("reversal of {ab} must accept ba")
+	}
+	if r.Accepts([]int{0, 1}) {
+		t.Fatal("reversal of {ab} must not accept ab")
+	}
+	if r.Accepts(nil) {
+		t.Fatal("reversal of {ab} must not accept ε")
+	}
+}
+
+// TestReverseEmptyAndEpsilon: the empty language reverses to the empty
+// language; ε-acceptance is preserved.
+func TestReverseEmptyAndEpsilon(t *testing.T) {
+	empty := New(1)
+	empty.AddStart(empty.AddState(false))
+	if !Reverse(empty).IsEmpty() {
+		t.Fatal("reversal of the empty language must be empty")
+	}
+	eps := New(1)
+	eps.AddStart(eps.AddState(true))
+	if !Reverse(eps).Accepts(nil) {
+		t.Fatal("reversal must preserve ε-acceptance")
+	}
+}

@@ -95,6 +95,30 @@ func Wikipedia(seed uint64, targetBytes int) string {
 	return sentences(newRNG(seed), wikiNouns, 5, 14, targetBytes, nil)
 }
 
+// SparseSentiment returns a Wikipedia-like corpus of roughly targetBytes
+// bytes with one library.NegativeSentiment match injected roughly every
+// matchEvery bytes — the sparse-match workload of the evaluation
+// benchmarks, where extraction cost should be dominated by the scan, not
+// the matches. The base vocabulary contains no word starting with "bad",
+// so the injected sentences carry all matches.
+func SparseSentiment(seed uint64, targetBytes, matchEvery int) string {
+	r := newRNG(seed)
+	next := matchEvery
+	inject := func(r *rng, b *strings.Builder, _ int) bool {
+		if b.Len() < next {
+			return false
+		}
+		next = b.Len() + matchEvery
+		b.WriteString("the ")
+		b.WriteString(r.pick(commonWords))
+		b.WriteString(" was bad ")
+		b.WriteString(r.pick(wikiNouns))
+		b.WriteString(" today")
+		return true
+	}
+	return sentences(r, wikiNouns, 5, 14, targetBytes, inject)
+}
+
 // PubMed returns a biomedical-abstract-like corpus.
 func PubMed(seed uint64, targetBytes int) string {
 	return sentences(newRNG(seed), pubmedWords, 8, 20, targetBytes, nil)

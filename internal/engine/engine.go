@@ -52,14 +52,17 @@ type Config struct {
 	// the library default. Plans whose verdict exceeds the limit degrade
 	// to sequential evaluation instead of failing.
 	StateLimit int
-	// BufferAll disables incremental segmentation: every streamed
-	// document is buffered whole before evaluation. Incremental
-	// segmentation is exact for local splitters (segment boundaries
-	// determined by separator bytes, like every disjoint splitter in
-	// internal/library) but is unsound for a disjoint splitter whose
-	// segmentation depends on unbounded right context; deployments that
-	// accept arbitrary untrusted splitter formulas should set BufferAll.
-	BufferAll bool
+	// StreamIncremental opts in to incremental segmentation of streamed
+	// documents: segments are dispatched to the worker pool while the
+	// tail of the document is still being read. Incremental segmentation
+	// is exact only for local splitters — segment boundaries determined
+	// by separator bytes, like every disjoint splitter in
+	// internal/library — and can mis-segment a disjoint splitter whose
+	// segmentation depends on unbounded right context (see segmenter).
+	// Setting this flag is the deployment's assertion that its splitters
+	// are local. The default (false) buffers every streamed document
+	// whole before evaluation, which is sound for arbitrary splitters.
+	StreamIncremental bool
 	// MaxDocBuffer caps the bytes the engine will hold in memory for one
 	// document: the whole document on the buffered path, the carry-over
 	// buffer on the streaming path. Documents exceeding it fail with
@@ -139,8 +142,14 @@ func (e *Engine) Plan(ctx context.Context, req Request) (plan *Plan, hit bool, e
 // Extract evaluates the plan on an in-memory document, using split
 // evaluation on the worker pool when the plan's verdicts justify it and
 // sequential evaluation otherwise. The result is sorted and
-// deduplicated.
+// deduplicated. Like the reader paths, Extract enforces
+// Config.MaxDocBuffer: an inline document over the budget fails with
+// ErrDocTooLarge instead of being evaluated.
 func (e *Engine) Extract(ctx context.Context, plan *Plan, doc string) (*span.Relation, error) {
+	if e.cfg.MaxDocBuffer > 0 && int64(len(doc)) > e.cfg.MaxDocBuffer {
+		return span.NewRelation(plan.p.Vars...),
+			fmt.Errorf("%w (%d bytes > %d)", ErrDocTooLarge, len(doc), e.cfg.MaxDocBuffer)
+	}
 	e.docs.Add(1)
 	e.bytes.Add(uint64(len(doc)))
 	if plan.Strategy == StrategySplit {
@@ -156,11 +165,12 @@ func (e *Engine) Extract(ctx context.Context, plan *Plan, doc string) (*span.Rel
 
 // WillStream reports whether ExtractReader would segment this plan's
 // documents incrementally (true) or buffer them whole (false). Streaming
-// requires a split plan with a disjoint splitter and an engine not
-// configured with BufferAll; see segmenter for the locality assumption
-// this implies.
+// requires the engine's explicit StreamIncremental locality opt-in plus
+// a split plan with a disjoint splitter; everything else buffers, since
+// incremental segmentation of a disjoint-but-non-local splitter could
+// silently mis-segment. See segmenter for the locality assumption.
 func (e *Engine) WillStream(plan *Plan) bool {
-	return !e.cfg.BufferAll &&
+	return e.cfg.StreamIncremental &&
 		plan.Strategy == StrategySplit &&
 		plan.Verdicts.Disjoint == core.VerdictYes
 }

@@ -26,7 +26,9 @@ const (
 const emailDoc = "write to ann@example or bob@corp. then ping eve@host! done."
 
 func newTestEngine() *Engine {
-	return New(Config{Workers: 4, Batch: 2, ChunkSize: 7, PlanCache: 8})
+	// StreamIncremental: the library splitters used by these tests are
+	// local, and the streaming paths are what the tests exercise.
+	return New(Config{Workers: 4, Batch: 2, ChunkSize: 7, PlanCache: 8, StreamIncremental: true})
 }
 
 func mustPlan(t *testing.T, e *Engine, req Request) *Plan {
@@ -167,7 +169,7 @@ func TestStreamChunkBoundaryMidSegment(t *testing.T) {
 func TestStreamMatchesOneShotOnCorpus(t *testing.T) {
 	doc := corpus.Reviews(7, 40)
 	joined := strings.Join(doc, "\n")
-	e := New(Config{Workers: 4, Batch: 8, ChunkSize: 1 << 10})
+	e := New(Config{Workers: 4, Batch: 8, ChunkSize: 1 << 10, StreamIncremental: true})
 	neg := library.NegativeSentiment()
 	plan := &Plan{
 		p:        neg,
@@ -305,7 +307,7 @@ func TestMaxDocBufferStreaming(t *testing.T) {
 	// A boundary-less document grows the carry-over past the budget; the
 	// streaming path must fail with ErrDocTooLarge instead of buffering
 	// without bound.
-	e := New(Config{Workers: 2, ChunkSize: 8, MaxDocBuffer: 32})
+	e := New(Config{Workers: 2, ChunkSize: 8, MaxDocBuffer: 32, StreamIncremental: true})
 	plan := mustPlan(t, e, Request{Spanner: emailFormula, Splitter: sentenceFormula})
 	if !e.WillStream(plan) {
 		t.Fatal("expected a streaming plan")
@@ -332,11 +334,18 @@ func TestMaxDocBufferBuffered(t *testing.T) {
 	}
 }
 
-func TestBufferAllDisablesStreaming(t *testing.T) {
-	e := New(Config{Workers: 2, BufferAll: true, ChunkSize: 4})
+func TestStreamingIsOptIn(t *testing.T) {
+	// Without the StreamIncremental locality opt-in the engine must
+	// buffer streamed documents whole — the sound default for
+	// disjoint-but-non-local splitters — and still produce identical
+	// results.
+	e := New(Config{Workers: 2, ChunkSize: 4})
 	plan := mustPlan(t, e, Request{Spanner: emailFormula, Splitter: sentenceFormula})
+	if plan.Verdicts.Disjoint != core.VerdictYes {
+		t.Fatalf("verdicts = %+v, want a disjoint splitter", plan.Verdicts)
+	}
 	if e.WillStream(plan) {
-		t.Fatal("BufferAll engine must not stream")
+		t.Fatal("engine without the locality opt-in must not stream")
 	}
 	got, err := e.ExtractReader(context.Background(), plan, &fixedChunkReader{s: emailDoc, n: 3})
 	if err != nil {
@@ -347,7 +356,29 @@ func TestBufferAllDisablesStreaming(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !got.Equal(want) {
-		t.Fatal("BufferAll stream disagrees with one-shot")
+		t.Fatal("buffered stream disagrees with one-shot")
+	}
+}
+
+func TestMaxDocBufferInline(t *testing.T) {
+	// The inline-document path must enforce the same budget as the
+	// reader paths (it previously did not, leaving the daemon's JSON
+	// path bounded only by the HTTP body limit).
+	e := New(Config{Workers: 2, MaxDocBuffer: 16})
+	plan := mustPlan(t, e, Request{Spanner: emailFormula, Splitter: sentenceFormula})
+	_, err := e.Extract(context.Background(), plan, strings.Repeat("x", 64))
+	if !errors.Is(err, ErrDocTooLarge) {
+		t.Fatalf("err = %v, want ErrDocTooLarge", err)
+	}
+	// At or under the budget the document evaluates normally.
+	if _, err := e.Extract(context.Background(), plan, "a@b. c@d."); err != nil {
+		t.Fatalf("in-budget document failed: %v", err)
+	}
+	// Unlimited budget (negative) must not reject anything.
+	unbounded := New(Config{Workers: 2, MaxDocBuffer: -1})
+	plan = mustPlan(t, unbounded, Request{Spanner: emailFormula, Splitter: sentenceFormula})
+	if _, err := unbounded.Extract(context.Background(), plan, strings.Repeat("x", 1<<16)); err != nil {
+		t.Fatalf("unlimited engine rejected a document: %v", err)
 	}
 }
 

@@ -112,6 +112,10 @@ func SplitEvalBatches(ctx context.Context, ps *vsa.Automaton, batches <-chan []S
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// Build the shared evaluation caches (compiled program, forward and
+	// reversed match-window DFAs) once before fan-out instead of having
+	// every worker block on the same construction locks at first eval.
+	ps.Prepare()
 	results := make(chan *span.Relation, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -166,6 +170,7 @@ func CollectionEval(p *vsa.Automaton, docsIn []string, workers int) []*span.Rela
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	p.Prepare() // warm the shared evaluation caches before fan-out
 	out := make([]*span.Relation, len(docsIn))
 	jobs := make(chan int, workers)
 	var wg sync.WaitGroup
@@ -199,6 +204,7 @@ func CollectionEvalSplit(ps *vsa.Automaton, docsIn []string, splitFn func(string
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	ps.Prepare() // warm the shared evaluation caches before fan-out
 	type task struct {
 		doc int
 		seg Segment

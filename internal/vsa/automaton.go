@@ -48,6 +48,12 @@ type Automaton struct {
 	progOnce sync.Once
 	progVal  *evalProg
 
+	// Lazily compiled bidirectional match-window localizer (forward
+	// end-detection DFA, reversed start-narrowing DFA; see window.go),
+	// shared by every Eval of this automaton.
+	localOnce sync.Once
+	localVal  *localizer
+
 	// frozen is set when the first evaluation cache is built. Mutating a
 	// frozen automaton would silently serve stale cached results, so
 	// AddEdge/AddFinal panic instead; construct a Clone to modify.

@@ -2,7 +2,6 @@ package vsa
 
 import (
 	"math/bits"
-	"sort"
 	"sync"
 
 	"repro/internal/alphabet"
@@ -102,13 +101,16 @@ func (a *Automaton) prog() *evalProg {
 }
 
 // Prepare forces construction of the evaluation caches (byte-class table,
-// compiled transitions, DFA start state, suffix-universality) so that the
-// first evaluation does not pay for them. It freezes the automaton: any
-// later AddEdge/AddFinal panics. The engine calls Prepare when compiling a
-// plan, so plans served from the cache carry warmed evaluators.
+// compiled transitions, suffix-universality, and both match-window DFAs —
+// the forward end-detection scan and the reversed start-narrowing
+// program) so that the first evaluation does not pay for them. It freezes
+// the automaton: any later AddEdge/AddFinal panics. The engine calls
+// Prepare when compiling a plan, so plans served from the cache carry
+// warmed evaluators.
 func (a *Automaton) Prepare() {
 	a.prog()
 	a.suffixUniversality()
+	a.localizer()
 }
 
 func (a *Automaton) buildProg() *evalProg {
@@ -205,7 +207,7 @@ func (p *evalProg) subsetSucc(set []int32, class uint8) []int32 {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	sortInt32s(out)
 	return out
 }
 
@@ -314,6 +316,10 @@ type evalScratch struct {
 	tmp         []int32
 	table       []cellSlot
 	ver         uint32
+	// Cross-window tuple dedup of one evaluation (see evalRun.emit);
+	// the map is cleared, not reallocated, between evaluations.
+	seen    map[string]bool
+	emitBuf []byte
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(evalScratch) }}

@@ -77,7 +77,6 @@ func (a *Automaton) computeSuffixUniversality() []bool {
 		}
 		e := &expansion{}
 		var classes []alphabet.Class
-		var union alphabet.Class
 		hasFinal := false
 		for _, q := range set {
 			if finals[q] {
@@ -86,12 +85,11 @@ func (a *Automaton) computeSuffixUniversality() []bool {
 			for _, ed := range a.States[q].Edges {
 				if ed.Ops == 0 {
 					classes = append(classes, ed.Class)
-					union = union.Union(ed.Class)
 				}
 			}
 		}
 		// Locally good: accepting here, and able to consume any byte.
-		e.good = hasFinal && union == alphabet.Any
+		e.good = hasFinal && alphabet.CoversAll(classes)
 		if e.good {
 			for _, atom := range alphabet.Atoms(classes) {
 				succ := map[int]bool{}
@@ -146,71 +144,158 @@ func (a *Automaton) computeSuffixUniversality() []bool {
 }
 
 // Eval computes the span relation ⟦a⟧(d) on the compiled evaluation core
-// (see dfa.go). A DFA prescan rejects non-matching documents at
-// byte-class-lookup speed — the dominant case when a split-spanner runs
-// over many segments. Matching documents run a forward dynamic program
-// over a sparse frontier of (state, assignment) cells: byte-class-indexed
-// transition lists replace the per-edge class test, assignments live in a
-// reused arena, and cells are deduplicated through a versioned
-// open-addressing table, so the per-byte loop is allocation-free in the
-// common case. Assignments that are complete and sit in a suffix-universal
-// state are emitted immediately, keeping the run output-sensitive.
-// EvalReference retains the map-based simulation this replaced; fuzzing
-// asserts the two agree.
+// (see dfa.go and window.go). The bidirectional match-window localizer
+// first bounds where matches can live: a forward byte-class DFA pass
+// finds every boundary where a match can complete (subsuming the old
+// EvalBool prescan — a document with no such boundary is rejected in the
+// same single pass), and a backward pass over the reversed core automaton
+// narrows each to the earliest boundary where that match can start. The
+// expensive tagged frontier simulation — byte-class-indexed transition
+// lists, arena-backed assignments, versioned open-addressing dedup — then
+// runs only inside the resulting [start, end) windows, seeded with the
+// exact pre-core frontier and with positions kept in document
+// coordinates, so results are byte-identical to whole-document
+// evaluation. When localization does not apply (nullary automata, no
+// per-state status, DFA state-bound overflow) Eval falls back to the
+// whole-document path: DFA prescan plus full tagged simulation.
+// EvalReference retains the map-based simulation all of this replaced;
+// fuzzing asserts the two agree.
 func (a *Automaton) Eval(doc string) *span.Relation {
 	p := a.prog()
 	rel := span.NewRelation(a.Vars...)
-	// ⟦a⟧(d) = ∅ iff no accepting run exists; the DFA decides that without
-	// touching the assignment machinery.
+	if loc := a.localizer(); loc.ok {
+		ws := windowPool.Get().(*windowScratch)
+		defer windowPool.Put(ws)
+		if loc.scan.forward(p, doc, ws) {
+			if len(ws.ends) == 0 && !ws.finalsAtEnd {
+				// No boundary where a match can complete: ⟦a⟧(d) = ∅,
+				// and the simulation machinery was never touched.
+				return rel
+			}
+			if loc.narrow(p, doc, ws) {
+				run := newEvalRun(a, p, rel, doc)
+				defer run.release()
+				for _, w := range ws.windows {
+					seed := loc.seedAt(p, doc, w.lo, ws)
+					run.window(w.lo, w.hi, seed, w.hi == len(doc))
+				}
+				rel.Dedupe()
+				return rel
+			}
+		}
+	}
+	// Fallback: ⟦a⟧(d) = ∅ iff no accepting run exists; the DFA decides
+	// that without touching the assignment machinery.
 	if !a.EvalBool(doc) {
 		return rel
 	}
-	nv := p.nv
-	stride := 2 * nv
+	run := newEvalRun(a, p, rel, doc)
+	defer run.release()
+	run.window(0, len(doc), nil, true)
+	rel.Dedupe()
+	return rel
+}
+
+// evalRun bundles the per-evaluation state shared by every window of one
+// Eval call: the frozen program, the pooled scratch, the result relation
+// and the cross-window tuple dedup. Bundling it into one struct keeps the
+// per-window hot path free of closure allocations.
+type evalRun struct {
+	a      *Automaton
+	p      *evalProg
+	sc     *evalScratch
+	rel    *span.Relation
+	doc    string
+	stride int
+}
+
+func newEvalRun(a *Automaton, p *evalProg, rel *span.Relation, doc string) *evalRun {
 	sc := scratchPool.Get().(*evalScratch)
-	sc.cur, sc.next = sc.cur[:0], sc.next[:0]
-	sc.curA, sc.nextA = sc.curA[:0], sc.nextA[:0]
+	stride := 2 * p.nv
 	if cap(sc.tmp) < stride {
 		sc.tmp = make([]int32, stride)
 	}
-	tmp := sc.tmp[:stride]
+	// clear() costs O(buckets), and a pooled map keeps the bucket array
+	// of its largest-ever use: after one tuple-heavy evaluation, clearing
+	// per call would tax every later small evaluation (57k segment evals
+	// each sweeping a 12k-tuple map's buckets). Maps that grew past the
+	// threshold are dropped instead, so surviving maps are always cheap
+	// to clear.
+	if sc.seen == nil || len(sc.seen) > 256 {
+		sc.seen = make(map[string]bool)
+	} else {
+		clear(sc.seen)
+	}
+	if cap(sc.emitBuf) < 4*stride {
+		sc.emitBuf = make([]byte, 4*stride)
+	}
+	return &evalRun{a: a, p: p, sc: sc, rel: rel, doc: doc, stride: stride}
+}
 
-	emitted := map[string]bool{}
-	emitBuf := make([]byte, 4*stride)
-	emit := func(pt []int32) {
-		for i, v := range pt {
-			binary.LittleEndian.PutUint32(emitBuf[4*i:], uint32(v))
-		}
-		k := string(emitBuf)
-		if emitted[k] {
-			return
-		}
-		emitted[k] = true
-		t := make(span.Tuple, nv)
-		for v := 0; v < nv; v++ {
-			t[v] = span.Span{Start: int(pt[2*v]), End: int(pt[2*v+1])}
-		}
-		rel.Tuples = append(rel.Tuples, t)
+func (r *evalRun) release() { scratchPool.Put(r.sc) }
+
+// emit deduplicates and materializes one result tuple. Windows are
+// disjoint, but two runs of the same tuple may complete in different
+// windows; the byte-keyed map catches repeats before they allocate.
+func (r *evalRun) emit(pt []int32) {
+	buf := r.sc.emitBuf[:4*r.stride]
+	for i, v := range pt {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
 	}
-	uni := p.uni
-	place := func(state int32, pt []int32) {
-		if uni[state] && completePartial(pt) {
-			emit(pt)
-			return
-		}
-		sc.place(state, pt, stride)
+	k := string(buf)
+	if r.sc.seen[k] {
+		return
 	}
-	// Seed the frontier with the start state and the all-unset assignment.
-	sc.resetTable(1)
+	r.sc.seen[k] = true
+	nv := r.p.nv
+	t := make(span.Tuple, nv)
+	for v := 0; v < nv; v++ {
+		t[v] = span.Span{Start: int(pt[2*v]), End: int(pt[2*v+1])}
+	}
+	r.rel.Tuples = append(r.rel.Tuples, t)
+}
+
+// place adds a frontier cell, emitting immediately (and dropping the
+// cell) when the assignment is complete in a suffix-universal state —
+// the emit states of the localizer's forward scan.
+func (r *evalRun) place(state int32, pt []int32) {
+	if r.p.uni[state] && completePartial(pt) {
+		r.emit(pt)
+		return
+	}
+	r.sc.place(state, pt, r.stride)
+}
+
+// window runs the tagged frontier simulation over doc[lo:hi]. The
+// frontier is seeded at boundary lo with the given states (nil means the
+// automaton's start state) and the all-unset assignment; positions are
+// document-absolute throughout. Final operation sets apply only when the
+// range ends at the document end (atDocEnd); an earlier window simply
+// discards its residual frontier — runs completing beyond the window are
+// covered by the window of their own completion boundary.
+func (r *evalRun) window(lo, hi int, seed []int32, atDocEnd bool) {
+	p, sc, stride := r.p, r.sc, r.stride
+	sc.cur, sc.next = sc.cur[:0], sc.next[:0]
+	sc.curA, sc.nextA = sc.curA[:0], sc.nextA[:0]
+	tmp := sc.tmp[:stride]
 	for i := range tmp {
 		tmp[i] = 0
 	}
-	place(int32(a.Start), tmp)
+	if seed == nil {
+		sc.resetTable(1)
+		r.place(int32(r.a.Start), tmp)
+	} else {
+		sc.resetTable(len(seed))
+		for _, q := range seed {
+			r.place(q, tmp)
+		}
+	}
 	sc.cur, sc.next = sc.next, sc.cur
 	sc.curA, sc.nextA = sc.nextA, sc.curA
 
 	nc := p.nclasses
-	for pos := 0; pos < len(doc) && len(sc.cur) > 0; pos++ {
+	doc := r.doc
+	for pos := lo; pos < hi && len(sc.cur) > 0; pos++ {
 		c := int(p.classOf[doc[pos]])
 		sc.next = sc.next[:0]
 		sc.nextA = sc.nextA[:0]
@@ -219,32 +304,32 @@ func (a *Automaton) Eval(doc string) *span.Relation {
 			src := sc.curA[cell.off : int(cell.off)+stride]
 			for _, e := range p.succ[int(cell.state)*nc+c] {
 				if e.ops == 0 {
-					place(e.to, src)
+					r.place(e.to, src)
 				} else {
 					copy(tmp, src)
 					applyOps(tmp, e.ops, pos)
-					place(e.to, tmp)
+					r.place(e.to, tmp)
 				}
 			}
 		}
 		sc.cur, sc.next = sc.next, sc.cur
 		sc.curA, sc.nextA = sc.nextA, sc.curA
 	}
+	if !atDocEnd {
+		return
+	}
 	for _, cell := range sc.cur {
 		src := sc.curA[cell.off : int(cell.off)+stride]
 		for _, f := range p.finals[cell.state] {
 			if f == 0 {
-				emit(src)
+				r.emit(src)
 				continue
 			}
 			copy(tmp, src)
 			applyOps(tmp, f, len(doc))
-			emit(tmp)
+			r.emit(tmp)
 		}
 	}
-	scratchPool.Put(sc)
-	rel.Dedupe()
-	return rel
 }
 
 // EvalReference is the retained reference implementation of Eval: a direct

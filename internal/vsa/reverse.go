@@ -1,0 +1,242 @@
+package vsa
+
+// This file builds the backward start-narrowing program of the match-
+// window localizer (window.go): the automaton's core — everything between
+// the first variable operation of a run and its emission — is stripped of
+// operations, reversed with automata.Reverse over the byte-class alphabet
+// of the compiled evaluation program, and compiled into the same
+// per-(state, class) transition lists plus lazily determinized DFA shape
+// as the forward machinery in dfa.go, so both directions share one
+// construction idiom and one locking discipline.
+
+import (
+	"sync"
+
+	"repro/internal/automata"
+)
+
+// revProg is the compiled backward program. succ holds the reversed core
+// adjacency: succ[v*nclasses+c] lists the states u with a kept forward
+// edge u --c--> v, so following it walks the document right to left.
+//
+// Kept edges exclude two loop families that would otherwise keep the
+// backward frontier alive across the whole document:
+//
+//   - post-emit edges (forward source is an emit state): evaluation
+//     emits and drops a run when it enters an emit state, so nothing
+//     after that boundary belongs to the match;
+//   - prefix edges (operation-free edges between status-0 states): they
+//     precede the match core, whose discovery is the whole point.
+//
+// The boundary between prefix and core — an edge with operations leaving
+// a status-0 state — is recorded as a startPred flag on the target
+// instead of a frontier member: reaching the target backwards over that
+// class means a match core can begin at the boundary just crossed.
+type revProg struct {
+	nstates   int
+	nclasses  int
+	succ      [][]int32
+	startPred []bool
+	// endSeed holds the emit states: the backward frontier seeds at a
+	// candidate match end. finSeed holds the status≠0 states with final
+	// operation sets: the seeds at the document-end boundary.
+	endSeed []int32
+	finSeed []int32
+	// finSeedHasStart reports a status-0 state with final operation sets:
+	// a match core can live entirely in the final boundary's operations,
+	// so the document end itself is a core start.
+	finSeedHasStart bool
+	dfa             *revDFA
+}
+
+type revState struct {
+	set   []int32
+	trans []int32
+	start []bool // per class: a core start is crossed by this transition
+	// injEnd/injFin cache the subset-union states produced by injecting
+	// the end/finals seed into this state's subset (dfaUnknown until
+	// built), so dense candidate-end runs re-enter cached DFA states.
+	injEnd int32
+	injFin int32
+}
+
+// revDFA is the shared backward transition cache, locked like the
+// forward lazyDFA.
+type revDFA struct {
+	mu     sync.RWMutex
+	states []revState
+	index  map[string]int32
+}
+
+func buildRevProg(p *evalProg, a *Automaton, st []Status, end []bool) *revProg {
+	nc, n := p.nclasses, p.nstates
+	r := &revProg{
+		nstates:   n,
+		nclasses:  nc,
+		succ:      make([][]int32, n*nc),
+		startPred: make([]bool, n*nc),
+	}
+	// The kept forward core edges as an NFA over the byte-class alphabet;
+	// automata.Reverse flips them into the backward adjacency. Starts and
+	// finals document the intended reading (a core runs from the prefix
+	// boundary to an emit state); only the reversed adjacency is compiled.
+	fwd := automata.New(nc)
+	for q := 0; q < n; q++ {
+		fwd.AddState(end[q])
+	}
+	fwd.AddStart(a.Start)
+	for q := 0; q < n; q++ {
+		if end[q] {
+			continue // post-emit
+		}
+		for c := 0; c < nc; c++ {
+			for _, e := range p.succ[q*nc+c] {
+				if st[q] == 0 {
+					if e.ops != 0 {
+						r.startPred[int(e.to)*nc+c] = true
+					}
+					continue // prefix edge, or core entry (flagged above)
+				}
+				fwd.AddEdge(q, c, int(e.to))
+			}
+		}
+	}
+	fwd.DedupeEdges()
+	rev := automata.Reverse(fwd)
+	for v, es := range rev.Adj {
+		for _, e := range es {
+			r.succ[v*nc+e.Sym] = append(r.succ[v*nc+e.Sym], int32(e.To))
+		}
+	}
+	for q := 0; q < n; q++ {
+		switch {
+		case end[q]:
+			r.endSeed = append(r.endSeed, int32(q))
+		case p.hasFinal[q] && st[q] == 0:
+			r.finSeedHasStart = true
+		case p.hasFinal[q]:
+			r.finSeed = append(r.finSeed, int32(q))
+		}
+	}
+	d := &revDFA{index: map[string]int32{setKey(nil): dfaDead}}
+	deadSt := revState{
+		trans:  make([]int32, nc), // all-zero: loops on itself
+		start:  make([]bool, nc),
+		injEnd: dfaUnknown,
+		injFin: dfaUnknown,
+	}
+	d.states = append(d.states, deadSt)
+	r.dfa = d
+	return r
+}
+
+// intern returns the DFA state of a sorted subset, creating it if needed.
+// Callers hold the write lock. Returns dfaOverflow at the state bound.
+func (r *revProg) intern(set []int32) int32 {
+	d := r.dfa
+	key := setKey(set)
+	if to, ok := d.index[key]; ok {
+		return to
+	}
+	if len(d.states) >= maxDFAStates {
+		return dfaOverflow
+	}
+	st := revState{
+		set:    set,
+		trans:  make([]int32, r.nclasses),
+		start:  make([]bool, r.nclasses),
+		injEnd: dfaUnknown,
+		injFin: dfaUnknown,
+	}
+	for c := range st.trans {
+		st.trans[c] = dfaUnknown
+	}
+	to := int32(len(d.states))
+	d.states = append(d.states, st)
+	d.index[key] = to
+	return to
+}
+
+// resolve computes and caches the backward transition (from, class) and
+// its core-start flag under the write lock.
+func (r *revProg) resolve(from int32, class uint8) int32 {
+	d := r.dfa
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if t := d.states[from].trans[class]; t != dfaUnknown {
+		return t // resolved by a concurrent evaluation
+	}
+	var mark []bool
+	var succ []int32
+	hit := false
+	for _, v := range d.states[from].set {
+		idx := int(v)*r.nclasses + int(class)
+		if r.startPred[idx] {
+			hit = true
+		}
+		for _, u := range r.succ[idx] {
+			if mark == nil {
+				mark = make([]bool, r.nstates)
+			}
+			if !mark[u] {
+				mark[u] = true
+				succ = append(succ, u)
+			}
+		}
+	}
+	sortInt32s(succ)
+	to := r.intern(succ)
+	d.states[from].trans[class] = to
+	d.states[from].start[class] = hit
+	return to
+}
+
+// inject returns the DFA state for subset(from) ∪ seed — the frontier
+// after a candidate end (fin: the document-end finals boundary) is merged
+// into an already-walking frontier. The result is cached per state; ok is
+// false on state-bound overflow.
+func (r *revProg) inject(from int32, fin bool) (int32, bool) {
+	d := r.dfa
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cached := d.states[from].injEnd
+	seed := r.endSeed
+	if fin {
+		cached = d.states[from].injFin
+		seed = r.finSeed
+	}
+	if cached != dfaUnknown {
+		return cached, cached != dfaOverflow
+	}
+	to := r.intern(mergeSortedInt32s(d.states[from].set, seed))
+	if fin {
+		d.states[from].injFin = to
+	} else {
+		d.states[from].injEnd = to
+	}
+	return to, to != dfaOverflow
+}
+
+// mergeSortedInt32s merges two sorted, duplicate-free slices into a fresh
+// sorted, duplicate-free slice.
+func mergeSortedInt32s(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

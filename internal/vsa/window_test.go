@@ -1,0 +1,238 @@
+package vsa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/alphabet"
+)
+
+// rawSigmaStar appends a Σ*-loop between from and to on r.
+func rawSigmaStar(r *Raw, from, to int) {
+	hub := r.AddState(false)
+	r.AddEpsilonEdge(from, hub)
+	r.AddEpsilonEdge(hub, to)
+	inner := r.AddState(false)
+	r.AddSymbolEdge(hub, alphabet.Any, inner)
+	r.AddEpsilonEdge(inner, hub)
+}
+
+// extractorAPlus builds Σ*·x{a+}·Σ* through the Raw compiler — the
+// canonical localizable shape, with the same state structure the
+// regex-formula compiler produces.
+func extractorAPlus() *Automaton {
+	r := NewRaw("x")
+	s1 := r.AddState(false)
+	rawSigmaStar(r, r.Start, s1)
+	o1 := r.AddState(false)
+	r.AddOpEdge(s1, Open(0), o1)
+	mid := r.AddState(false)
+	r.AddSymbolEdge(o1, alphabet.Of('a'), mid)
+	r.AddSymbolEdge(mid, alphabet.Of('a'), mid)
+	c1 := r.AddState(false)
+	r.AddOpEdge(mid, Close(0), c1)
+	fin := r.AddState(true)
+	rawSigmaStar(r, c1, fin)
+	return r.Compile()
+}
+
+// extractorPrefixAnchored builds x{a}·Σ*: matches only at position 0, so
+// windowed evaluation must not invent matches elsewhere.
+func extractorPrefixAnchored() *Automaton {
+	r := NewRaw("x")
+	o1 := r.AddState(false)
+	r.AddOpEdge(r.Start, Open(0), o1)
+	mid := r.AddState(false)
+	r.AddSymbolEdge(o1, alphabet.Of('a'), mid)
+	c1 := r.AddState(false)
+	r.AddOpEdge(mid, Close(0), c1)
+	fin := r.AddState(true)
+	rawSigmaStar(r, c1, fin)
+	return r.Compile()
+}
+
+// extractorSuffixAnchored builds Σ*·x{a+} anchored at the document end:
+// the close happens in the final operation set, exercising the
+// finals-at-end seeding of the backward pass.
+func extractorSuffixAnchored() *Automaton {
+	r := NewRaw("x")
+	s1 := r.AddState(false)
+	rawSigmaStar(r, r.Start, s1)
+	o1 := r.AddState(false)
+	r.AddOpEdge(s1, Open(0), o1)
+	mid := r.AddState(false)
+	r.AddSymbolEdge(o1, alphabet.Of('a'), mid)
+	r.AddSymbolEdge(mid, alphabet.Of('a'), mid)
+	c1 := r.AddState(true)
+	r.AddOpEdge(mid, Close(0), c1)
+	return r.Compile()
+}
+
+// extractorZeroWidth builds Σ*·x{}·b·Σ*: an empty span opened and closed
+// at the same boundary, right before a 'b'.
+func extractorZeroWidth() *Automaton {
+	r := NewRaw("x")
+	s1 := r.AddState(false)
+	rawSigmaStar(r, r.Start, s1)
+	o1 := r.AddState(false)
+	r.AddOpEdge(s1, Open(0), o1)
+	c1 := r.AddState(false)
+	r.AddOpEdge(o1, Close(0), c1)
+	mid := r.AddState(false)
+	r.AddSymbolEdge(c1, alphabet.Of('b'), mid)
+	fin := r.AddState(true)
+	rawSigmaStar(r, mid, fin)
+	return r.Compile()
+}
+
+// TestLocalizerActivates pins down that the common extractor shapes
+// actually take the windowed path — a silent fallback would pass every
+// equivalence test while abandoning the optimization.
+func TestLocalizerActivates(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		a    *Automaton
+	}{
+		{"sigma-star-core-sigma-star", extractorAPlus()},
+		{"prefix-anchored", extractorPrefixAnchored()},
+		{"suffix-anchored", extractorSuffixAnchored()},
+		{"zero-width", extractorZeroWidth()},
+	} {
+		if loc := c.a.localizer(); !loc.ok {
+			t.Errorf("%s: localizer disabled: %s", c.name, loc.reason)
+		}
+	}
+	nullary := NewAutomaton()
+	nullary.AddEdge(0, 0, alphabet.Any, 0)
+	nullary.AddFinal(0, 0)
+	if loc := nullary.localizer(); loc.ok {
+		t.Error("nullary automaton must fall back to whole-document evaluation")
+	}
+}
+
+// TestWindowedEvalMatchesReference is the table-driven equivalence test
+// for the match-window localizer: matches at the document start and end,
+// zero-width spans, adjacent matches whose windows merge, matches
+// straddling checkpoint boundaries, and documents with no matches at all
+// must agree byte-for-byte with the reference simulation.
+func TestWindowedEvalMatchesReference(t *testing.T) {
+	long := strings.Repeat(".", 3*checkpointStride)
+	cases := []struct {
+		name string
+		a    *Automaton
+		docs []string
+	}{
+		{"a-plus", extractorAPlus(), []string{
+			"",
+			"a",
+			"aaa",
+			"xxaxx",
+			"axxxa",                                 // matches at both ends
+			"aa.aa.aa",                              // adjacent matches, windows merge
+			long + "aaa" + long,                     // isolated window mid-document
+			long + "a" + long + "a" + long + "a",    // several isolated windows
+			"a" + long,                              // match at position 0
+			long + "a",                              // match at the last byte
+			strings.Repeat("a", 2*checkpointStride), // one huge match region
+			long,                                    // no match at all
+		}},
+		{"prefix-anchored", extractorPrefixAnchored(), []string{
+			"", "a", "ab", "ba", "xa", "a" + long, long,
+		}},
+		{"suffix-anchored", extractorSuffixAnchored(), []string{
+			"", "a", "ba", "ab", long + "aa", "aa" + long, long,
+		}},
+		{"zero-width", extractorZeroWidth(), []string{
+			"", "b", "ab", "bb", long + "b", "b" + long, long,
+		}},
+	}
+	for _, c := range cases {
+		if err := c.a.Validate(); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		for _, doc := range c.docs {
+			got, want := c.a.Eval(doc), c.a.EvalReference(doc)
+			if !got.Equal(want) {
+				t.Errorf("%s: Eval(%q):\nwindowed: %v\nreference: %v", c.name, doc, got, want)
+			}
+		}
+	}
+}
+
+// TestWindowedEvalNonLocalizableFallsBack: a hand-built automaton
+// without consistent statuses (non-functional) must evaluate through the
+// whole-document fallback and still agree with the reference simulation.
+func TestWindowedEvalNonLocalizableFallsBack(t *testing.T) {
+	a := NewAutomaton("x")
+	mid := a.AddState()
+	// Two paths assign conflicting statuses to mid: one opens x, one
+	// does not.
+	a.AddEdge(0, Open(0), alphabet.Of('a'), mid)
+	a.AddEdge(0, 0, alphabet.Of('b'), mid)
+	a.AddEdge(mid, Close(0), alphabet.Of('c'), mid)
+	a.AddFinal(mid, 0)
+	if loc := a.localizer(); loc.ok {
+		t.Fatal("status-less automaton must disable localization")
+	}
+	for _, doc := range []string{"", "ac", "bc", "acc", "b"} {
+		if got, want := a.Eval(doc), a.EvalReference(doc); !got.Equal(want) {
+			t.Errorf("Eval(%q): fallback %v != reference %v", doc, got, want)
+		}
+	}
+}
+
+// TestWindowedEvalConcurrent hammers one shared automaton from many
+// goroutines so the race detector sees the scan and reverse DFA caches
+// being built and read concurrently.
+func TestWindowedEvalConcurrent(t *testing.T) {
+	a := extractorAPlus()
+	long := strings.Repeat(".", 2*checkpointStride)
+	docs := []string{"", "a", long + "aaa" + long, "aa.aa", long}
+	want := make([]int, len(docs))
+	for i, d := range docs {
+		want[i] = a.EvalReference(d).Len()
+	}
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 40; i++ {
+				d := (g + i) % len(docs)
+				if got := a.Eval(docs[d]).Len(); got != want[d] {
+					t.Errorf("Eval(%q) = %d tuples, want %d", docs[d], got, want[d])
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}
+
+// FuzzEvalWindowVsReference fuzzes the windowed evaluator against the
+// retained reference simulation on random functional automata (the
+// generator of dfa_test.go) and fuzz-provided documents: window
+// straddling, zero-width spans and byte classes outside the automaton's
+// alphabet all fall out of the corpus.
+func FuzzEvalWindowVsReference(f *testing.F) {
+	f.Add(int64(1), "abab")
+	f.Add(int64(2), "")
+	f.Add(int64(3), strings.Repeat("c", 2*checkpointStride)+"ab")
+	f.Add(int64(7), "aa.bb.aa")
+	f.Fuzz(func(t *testing.T, seed int64, doc string) {
+		if len(doc) > 1<<12 {
+			doc = doc[:1<<12]
+		}
+		rng := rand.New(rand.NewSource(seed))
+		a := randomAutomaton(rng)
+		if err := a.Validate(); err != nil {
+			t.Skip()
+		}
+		got, want := a.Eval(doc), a.EvalReference(doc)
+		if !got.Equal(want) {
+			t.Fatalf("windowed Eval disagrees on %q:\nwindowed: %v\nreference: %v\n%s", doc, got, want, a)
+		}
+	})
+}
