@@ -5,16 +5,21 @@
 //
 //	POST /v1/extract   extract a relation from a document. The document
 //	                   may be inline JSON, a raw request body, or a
-//	                   streamed multipart part. Streamed documents are
-//	                   buffered whole by default (sound for every
-//	                   splitter); with -stream-incremental — a locality
-//	                   assertion about the deployed splitters —
-//	                   split-correct plans are evaluated segment-parallel
-//	                   while the document is still uploading.
+//	                   streamed multipart part. A streamed document is
+//	                   segmented incrementally while it uploads whenever
+//	                   the plan's locality verdict proves that safe
+//	                   (split-correct plan, disjoint splitter, locality
+//	                   decided on the splitter automaton — no flags
+//	                   needed); otherwise it is buffered whole, which is
+//	                   sound for every splitter. -stream-incremental
+//	                   force-streams plans whose verdict is no/unknown:
+//	                   an unsafe operator assertion of locality.
 //	POST /v1/check     split-correctness / self-splittability /
-//	                   disjointness verdicts for a formula pair, served
-//	                   from the plan cache.
-//	GET  /v1/stats     cache hit rate, throughput and pool utilization.
+//	                   disjointness / locality verdicts for a formula
+//	                   pair, served from the plan cache.
+//	GET  /v1/stats     cache hit rate, throughput (including how many
+//	                   documents streamed vs buffered), pool
+//	                   configuration and the force-stream flag.
 //
 // Example:
 //
@@ -48,7 +53,7 @@ func main() {
 		chunk     = flag.Int("chunk", 64<<10, "streaming read size in bytes")
 		limit     = flag.Int("limit", 0, "decision-procedure state limit (0 = library default)")
 		timeout   = flag.Duration("timeout", 0, "per-request timeout (0 = none)")
-		streamInc = flag.Bool("stream-incremental", false, "segment streamed documents incrementally instead of buffering them whole; exact only for local splitters (separator-determined boundaries), so this asserts every deployed splitter is local")
+		streamInc = flag.Bool("stream-incremental", false, "UNSAFE: force incremental segmentation for split plans whose splitter the locality decision procedure could not prove local (those proven local stream automatically); asserts every deployed splitter is local anyway — a wrong assertion silently mis-extracts")
 		maxDoc    = flag.Int64("max-doc", 0, "per-document memory budget in bytes (0 = 256 MiB, negative = unlimited)")
 	)
 	flag.Parse()

@@ -237,10 +237,12 @@ func (s *server) runExtract(w http.ResponseWriter, r *http.Request, req engine.R
 }
 
 // handleCheck serves POST /v1/check: it returns the plan's verdicts
-// (split-correctness / self-splittability / disjointness) without
-// evaluating anything. Verdicts are served from the plan cache, so
-// repeated and concurrent checks of the same pair run the PSPACE
-// procedures once.
+// (split-correctness / self-splittability / disjointness / locality)
+// without evaluating anything — the "local" verdict tells a client
+// whether this daemon will stream the pair's documents incrementally
+// without any -stream-incremental override. Verdicts are served from
+// the plan cache, so repeated and concurrent checks of the same pair
+// run the PSPACE procedures once.
 func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	var req extractRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, maxJSONBody)).Decode(&req); err != nil {
@@ -256,7 +258,8 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleStats serves GET /v1/stats: cache hit rate, throughput counters
-// and worker configuration.
+// (documents total and streamed incrementally), worker configuration
+// and whether the unsafe -stream-incremental override is active.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.eng.Stats())
 }

@@ -31,6 +31,7 @@ type extractResult struct {
 		Disjoint       string `json:"disjoint"`
 		SelfSplittable string `json:"self_splittable"`
 		SplitCorrect   string `json:"split_correct"`
+		Local          string `json:"local"`
 	} `json:"verdicts"`
 	CacheHit bool       `json:"cache_hit"`
 	Ingest   string     `json:"ingest"`
@@ -236,38 +237,63 @@ func TestCheckConcurrentSingleFlight(t *testing.T) {
 	}
 }
 
-func TestStreamedIngestRequiresOptIn(t *testing.T) {
-	// The daemon defaults to buffering streamed documents whole; only the
-	// -stream-incremental locality opt-in may segment incrementally. Both
-	// configurations must return identical tuples.
-	raw := func(ts *httptest.Server) extractResult {
-		t.Helper()
-		url := ts.URL + "/v1/extract?spanner=" + url.QueryEscape(emailFormula) + "&splitter=" + url.QueryEscape(sentenceFormula)
-		req, err := http.NewRequest("POST", url, &slowChunks{s: testDoc, n: 3})
-		if err != nil {
-			t.Fatal(err)
-		}
-		req.Header.Set("Content-Type", "application/octet-stream")
-		resp, err := http.DefaultClient.Do(req)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return decodeExtract(t, resp)
+// rawStream POSTs the document as a chunked raw body with formulas in
+// the query string, the shape that exercises the daemon's streaming
+// ingest decision.
+func rawStream(t *testing.T, ts *httptest.Server, spanner, splitter, doc string) extractResult {
+	t.Helper()
+	u := ts.URL + "/v1/extract?spanner=" + url.QueryEscape(spanner) + "&splitter=" + url.QueryEscape(splitter)
+	req, err := http.NewRequest("POST", u, &slowChunks{s: doc, n: 3})
+	if err != nil {
+		t.Fatal(err)
 	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return decodeExtract(t, resp)
+}
+
+func TestProvenLocalSplitterStreamsByDefault(t *testing.T) {
+	// The sentence splitter is proven local by the plan's verdict, so a
+	// daemon with NO -stream-incremental flag must segment the upload
+	// incrementally — correctness by proof, not by operator promise —
+	// and report it: ingest "streamed", verdict local=yes, and the
+	// streamed-documents counter in /v1/stats.
+	eng := engine.New(engine.Config{Workers: 2, ChunkSize: 8})
+	ts := httptest.NewServer(newServer(eng))
+	defer ts.Close()
+	got := rawStream(t, ts, emailFormula, sentenceFormula, testDoc)
+	if got.Ingest != "streamed" {
+		t.Fatalf("default daemon ingest = %q, want streamed (verdicts %+v)", got.Ingest, got.Verdicts)
+	}
+	if got.Verdicts.Local != "yes" {
+		t.Fatalf("verdicts = %+v, want local=yes", got.Verdicts)
+	}
+	if want := oneShotTuples(t); !reflect.DeepEqual(got.Tuples, want) {
+		t.Fatalf("streamed tuples = %v, want one-shot %v", got.Tuples, want)
+	}
+	st := eng.Stats()
+	if st.StreamedDocs != 1 || st.StreamForced {
+		t.Fatalf("stats = %+v, want exactly one streamed document and no force flag", st)
+	}
+}
+
+func TestUnprovenSplitterBuffersByDefault(t *testing.T) {
+	// A disjoint splitter the locality procedure refuses ('.'-separated
+	// blocks minus the first) must be buffered whole unless the operator
+	// forces streaming; either way the ingest mode is reported.
+	const nonLocalSplitter = `[^.]*\.([^.]*\.)*(x{[^.]*})(\.[^.]*)*`
+	const doc = "x@y.a@b.c@d."
 	def := httptest.NewServer(newServer(engine.New(engine.Config{Workers: 2, ChunkSize: 8})))
 	defer def.Close()
-	buffered := raw(def)
+	buffered := rawStream(t, def, emailFormula, nonLocalSplitter, doc)
 	if buffered.Ingest != "buffered" {
-		t.Fatalf("default daemon ingest = %q, want buffered", buffered.Ingest)
+		t.Fatalf("default daemon ingest = %q, want buffered (verdicts %+v)", buffered.Ingest, buffered.Verdicts)
 	}
-	opt := httptest.NewServer(newServer(engine.New(engine.Config{Workers: 2, ChunkSize: 8, StreamIncremental: true})))
-	defer opt.Close()
-	streamed := raw(opt)
-	if streamed.Ingest != "streamed" {
-		t.Fatalf("opt-in daemon ingest = %q, want streamed", streamed.Ingest)
-	}
-	if !reflect.DeepEqual(buffered.Tuples, streamed.Tuples) {
-		t.Fatalf("buffered %v != streamed %v", buffered.Tuples, streamed.Tuples)
+	if buffered.Verdicts.Disjoint != "yes" || buffered.Verdicts.Local != "no" {
+		t.Fatalf("verdicts = %+v, want disjoint=yes local=no", buffered.Verdicts)
 	}
 }
 

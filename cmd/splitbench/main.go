@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -29,6 +30,7 @@ import (
 	"repro/internal/alphabet"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/engine"
 	"repro/internal/library"
 	"repro/internal/parallel"
 	"repro/internal/reason"
@@ -142,6 +144,7 @@ func evalThroughput() {
 		measure("Eval", "nonmatching", nonMatching, func() int { return p.Eval(nonMatching).Len() }),
 		measure("SplitEval", "dense", dense, func() int { return parallel.SplitEval(p, segs, *workers).Len() }),
 	)
+	results = append(results, engineStreamingResults(dense, measure)...)
 	if *jsonPath == "" {
 		return
 	}
@@ -163,6 +166,46 @@ func evalThroughput() {
 		os.Exit(1)
 	}
 	fmt.Printf("snapshot written to %s\n", *jsonPath)
+}
+
+// engineStreamingResults measures the engine's split evaluation of a
+// streamed document in both ingest modes on the same plan: "streamed"
+// rides the locality verdict (the sentence splitter is proven local,
+// so segmentation overlaps evaluation), "buffered" reads the stream
+// whole before evaluating — the PR 4 streamed-vs-buffered SplitEval
+// datapoint of the benchmark snapshot.
+func engineStreamingResults(dense string, measure func(op, corpusName, doc string, f func() int) perfResult) []perfResult {
+	negFormula := `(.*[ .!?\n])?bad (y{[a-z]+})(([^a-z].*)?|)`
+	sentFormula := "(x{[^.!?\\n]*})([.!?\\n][^.!?\\n]*)*|" +
+		"[^.!?\\n]*([.!?\\n][^.!?\\n]*)*[.!?\\n](x{[^.!?\\n]*})([.!?\\n][^.!?\\n]*)*"
+	ctx := context.Background()
+	eng := engine.New(engine.Config{Workers: *workers})
+	plan, _, err := eng.Plan(ctx, engine.Request{Spanner: negFormula, Splitter: sentFormula})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "EVAL: engine plan: %v\n", err)
+		os.Exit(1)
+	}
+	if !eng.WillStream(plan) {
+		fmt.Fprintf(os.Stderr, "EVAL: sentence splitter no longer proven local (verdicts %+v)\n", plan.Verdicts)
+		os.Exit(1)
+	}
+	// Same plan, locality verdict overridden to "no": ExtractReader takes
+	// the sound buffer-all path (the struct copy leaves the cached plan
+	// untouched).
+	buffered := *plan
+	buffered.Verdicts.Local = core.VerdictNo
+	extract := func(p *engine.Plan) int {
+		rel, err := eng.ExtractReader(ctx, p, strings.NewReader(dense))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "EVAL: %v\n", err)
+			os.Exit(1)
+		}
+		return rel.Len()
+	}
+	return []perfResult{
+		measure("SplitEvalStream", "streamed", dense, func() int { return extract(plan) }),
+		measure("SplitEvalStream", "buffered", dense, func() int { return extract(&buffered) }),
+	}
 }
 
 func header(title string) {

@@ -5,10 +5,12 @@ import (
 )
 
 // Engine is a long-lived streaming extraction engine: it memoizes
-// compiled automata and split-correctness verdicts in a plan cache
-// (LRU + single-flight), streams documents chunk-by-chunk through the
-// splitter, and evaluates segments on a shared worker pool. Use it when
-// serving many extraction requests; the one-shot façade functions
+// compiled automata and decision-procedure verdicts (split-correctness,
+// disjointness, locality) in a plan cache (LRU + single-flight),
+// streams documents chunk-by-chunk through the splitter whenever the
+// locality verdict proves that safe (buffering them whole otherwise),
+// and evaluates segments on a shared worker pool. Use it when serving
+// many extraction requests; the one-shot façade functions
 // (SplitCorrect, ParallelEval, ...) re-run the decision procedures every
 // call. See internal/engine and DESIGN.md for the architecture; cmd/spand
 // serves an Engine over HTTP.
@@ -16,7 +18,9 @@ type Engine = engine.Engine
 
 // EngineConfig tunes an Engine; the zero value selects defaults
 // (GOMAXPROCS workers, 128-plan cache, 16-segment batches, 64 KiB
-// chunks).
+// chunks, stream-when-proven-local). EngineConfig.StreamIncremental is
+// a force-override with unsafe-assertion semantics — see
+// engine.Config.StreamIncremental for its exact contract.
 type EngineConfig = engine.Config
 
 // EngineStats is a monitoring snapshot of an Engine.

@@ -1,0 +1,122 @@
+// The three streaming modes of the extraction engine, demonstrated on
+// ngram-style word splitters:
+//
+//  1. Proven-local auto-stream: the unigram (1-gram) splitter's
+//     locality is decided on its automaton (core.Splitter.IsLocal), so
+//     the engine segments uploads incrementally with no configuration —
+//     correctness by proof.
+//  2. Forced -stream-incremental: a disjoint splitter the procedure
+//     refuses (words are segments only when the record ends in '!')
+//     can be force-streamed, but the flag is an unsafe assertion —
+//     this program shows the silent mis-extraction a wrong assertion
+//     causes.
+//  3. Buffer-all fallback: the same unproven splitter on a default
+//     engine is buffered whole, which is sound for every splitter.
+//
+// Run with: go run ./examples/streaming
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	spanners "repro"
+)
+
+const (
+	// A unigram splitter: every space/bang-separated word, ngram-style
+	// with n=1. Separators and word bytes partition the alphabet, so
+	// segmentation is separator-determined — the locality procedure
+	// proves it streamable.
+	unigramFormula = `(x{[^ !]+})([ !].*)?|.*[ !](x{[^ !]+})([ !].*)?`
+	// Word extractor of the same shape: self-splittable by unigrams.
+	wordFormula = `(y{[^ !]+})([ !].*)?|.*[ !](y{[^ !]+})([ !].*)?`
+
+	// The same unigrams, but only on records that end in '!': whether
+	// any word is a segment depends on the last byte of the document —
+	// unbounded right context. Disjoint, but provably NOT local, and
+	// genuinely unsafe to stream.
+	suffixUnigramFormula = `(x{[^ !]+})( [^ !]+)*!|[^ !]+( [^ !]+)* (x{[^ !]+})( [^ !]+)*!`
+	// Its split-correct companion pair: P extracts every word of a
+	// '!'-terminated record, and per segment the split-spanner P_S
+	// selects the whole word, so P = P_S ∘ S holds (and the engine
+	// proves it).
+	bangWordFormula = `(y{[^ !]+})( [^ !]+)*!|[^ !]+( [^ !]+)* (y{[^ !]+})( [^ !]+)*!`
+	segWordFormula  = `(y{[^ !]+})`
+)
+
+func run(name string, cfg spanners.EngineConfig, req spanners.ExtractRequest, doc string) {
+	ctx := context.Background()
+	eng := spanners.NewEngine(cfg)
+	plan, _, err := eng.Plan(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	streamed, err := eng.ExtractReader(ctx, plan, strings.NewReader(doc))
+	if err != nil {
+		log.Fatal(err)
+	}
+	oneShot, err := eng.Extract(ctx, plan, doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s\n", name)
+	fmt.Printf("  doc: %q\n", doc)
+	fmt.Printf("  strategy=%v disjoint=%v local=%v → streams without flag: %v\n",
+		plan.Strategy, plan.Verdicts.Disjoint, plan.Verdicts.Local,
+		plan.Verdicts.Local.String() == "yes")
+	fmt.Printf("  streamed %d tuples vs one-shot %d tuples — identical: %v\n\n",
+		streamed.Len(), oneShot.Len(), streamed.Equal(oneShot))
+}
+
+func main() {
+	// The locality verdict, standalone: what /v1/check reports and what
+	// the engine consults before streaming.
+	s := spanners.MustCompileSplitter(unigramFormula)
+	local, err := s.IsLocal()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unigram splitter:            disjoint=%v local=%v\n", s.IsDisjoint(), local)
+	u := spanners.MustCompileSplitter(suffixUnigramFormula)
+	local, err = u.IsLocal()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("suffix-conditioned unigrams: disjoint=%v local=%v\n\n", u.IsDisjoint(), local)
+
+	// Mode 1: proven local — a default engine streams automatically and
+	// the result is guaranteed identical to one-shot evaluation.
+	run("1· proven-local auto-stream (unigrams, default engine)",
+		spanners.EngineConfig{Workers: 2, ChunkSize: 5},
+		spanners.ExtractRequest{Spanner: wordFormula, Splitter: unigramFormula},
+		"alpha beta gamma delta epsilon!")
+
+	// Mode 3: the unproven splitter on the same default engine buffers
+	// the whole stream — slower to first result, but always correct.
+	bangReq := spanners.ExtractRequest{
+		Spanner:      bangWordFormula,
+		SplitSpanner: segWordFormula,
+		Splitter:     suffixUnigramFormula,
+	}
+	// The '!' sits exactly where the incremental segmenter's backoff
+	// schedule (5-byte chunks, re-split at 5, 10, 20 buffered bytes)
+	// runs the splitter, so the buffer transiently looks like a
+	// complete record.
+	doc := "alpha beta gamma ab! more words here"
+	run("3· buffer-all fallback (suffix-conditioned, default engine)",
+		spanners.EngineConfig{Workers: 2, ChunkSize: 5},
+		bangReq, doc)
+
+	// Mode 2: forcing the unproven splitter on the same document. The
+	// document does not end in '!', so its true segmentation — and
+	// extraction — is empty; but the forced segmenter sees the buffer
+	// end at "ab!", believes the earlier words are settled, and emits
+	// tuples the whole document never yields. This silent divergence is
+	// exactly what the locality proof rules out.
+	run("2· forced -stream-incremental (suffix-conditioned; UNSAFE)",
+		spanners.EngineConfig{Workers: 2, ChunkSize: 5, StreamIncremental: true},
+		bangReq, doc)
+}

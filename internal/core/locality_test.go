@@ -1,0 +1,200 @@
+package core_test
+
+// External test package: the table tests exercise IsLocal on the
+// ready-made splitters of internal/library, which itself imports core.
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/core"
+	"repro/internal/library"
+	"repro/internal/regexformula"
+	"repro/internal/span"
+)
+
+func mustSplitter(t *testing.T, src string) *core.Splitter {
+	t.Helper()
+	s, err := core.NewSplitter(regexformula.MustCompile(src))
+	if err != nil {
+		t.Fatalf("splitter %q: %v", src, err)
+	}
+	return s
+}
+
+// chunkedSplit is a reference implementation of the engine's carry-over
+// segmenter (internal/engine.segmenter) on top of Split alone: feed the
+// document in n-byte chunks, after each chunk split the buffered suffix,
+// emit every span but the last, and restart the buffer at the last
+// span's start. IsLocal promises this equals Split(doc) for any n.
+func chunkedSplit(s *core.Splitter, doc string, n int) []span.Span {
+	var out []span.Span
+	buf := ""
+	off := 0 // 0-based offset of buf[0] in doc
+	emit := func(spans []span.Span, all bool) {
+		keep := len(spans) - 1
+		if all {
+			keep = len(spans)
+		}
+		by := span.Span{Start: off + 1, End: off + 1}
+		for _, sp := range spans[:keep] {
+			out = append(out, sp.Shift(by))
+		}
+		if !all && keep >= 0 {
+			cut := spans[len(spans)-1].Start - 1
+			off += cut
+			buf = buf[cut:]
+		}
+	}
+	for lo := 0; lo < len(doc); lo += n {
+		hi := lo + n
+		if hi > len(doc) {
+			hi = len(doc)
+		}
+		buf += doc[lo:hi]
+		if spans := s.Split(buf); len(spans) >= 2 {
+			emit(spans, false)
+		}
+	}
+	emit(s.Split(buf), true)
+	return out
+}
+
+func assertChunkedMatches(t *testing.T, name string, s *core.Splitter, docs []string) {
+	t.Helper()
+	for _, doc := range docs {
+		want := s.Split(doc)
+		for _, n := range []int{1, 2, 3, 7, 4096} {
+			got := chunkedSplit(s, doc, n)
+			if len(got) != len(want) {
+				t.Fatalf("%s: doc %q chunk %d: %d spans, want %d (%v vs %v)",
+					name, doc, n, len(got), len(want), got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s: doc %q chunk %d: span %d = %v, want %v", name, doc, n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// Splitters the procedure must prove local: the separator-driven
+// splitters that motivated PR 3's opt-in flag.
+func TestIsLocalLibrarySplitters(t *testing.T) {
+	cases := []struct {
+		name string
+		s    *core.Splitter
+	}{
+		{"sentences", library.Sentences()},
+		{"paragraphs", library.Paragraphs()},
+		{"tokens", library.Tokens()},
+		{"http-requests", library.HTTPRequests()},
+	}
+	docs := []string{
+		"", ".", "a", "one. two! three? four\nfive.", "a.b.c.d", "..!!..",
+		"no terminator at all", "trailing terminator.", "a;b;;c", " lead space",
+	}
+	for _, c := range cases {
+		ok, err := c.s.IsLocal(0)
+		if err != nil {
+			t.Fatalf("%s: IsLocal: %v", c.name, err)
+		}
+		if !ok {
+			t.Fatalf("%s: IsLocal = false, want a locality proof", c.name)
+		}
+		assertChunkedMatches(t, c.name, c.s, docs)
+	}
+}
+
+func TestIsLocalKnownNonLocal(t *testing.T) {
+	block := "[^.!]*"
+	cases := []struct {
+		name string
+		src  string
+		// wantDisjoint sanity-checks the instance exercises the intended
+		// path: IsLocal must refuse non-disjoint splitters outright and
+		// refuse disjoint-but-unprovable ones after analysis.
+		wantDisjoint bool
+	}{
+		// Segmentation valid only on documents ending in '!': whether a
+		// block is a span depends on unbounded right context (fails L1,
+		// committed acceptance).
+		{"suffix-conditioned", "(x{" + block + "})(\\." + block + ")*!|" +
+			block + "(\\." + block + ")*\\.(x{" + block + "})(\\." + block + ")*!", true},
+		// Every '.'-separated block except the first: a suffix re-split
+		// from a cut drops its own first block, so segmentation does not
+		// factor at span starts (fails L3, the frontier pair walk).
+		{"all-but-first-block", "[^.]*\\.([^.]*\\.)*(x{[^.]*})(\\.[^.]*)*", true},
+		// Whole-document capture over a partial domain: bytes outside
+		// [ab] kill every run after the open (fails L1).
+		{"whole-doc-capture", "(x{(a|b)*})", true},
+		// 2-grams overlap; only disjoint splitters can be local.
+		{"2-grams", "(x{[^ ]+ [^ ]+})( .*)?|.* (x{[^ ]+ [^ ]+})( .*)?", false},
+	}
+	for _, c := range cases {
+		s := mustSplitter(t, c.src)
+		if got := s.IsDisjoint(); got != c.wantDisjoint {
+			t.Fatalf("%s: IsDisjoint = %v, want %v", c.name, got, c.wantDisjoint)
+		}
+		ok, err := s.IsLocal(0)
+		if err != nil {
+			t.Fatalf("%s: IsLocal: %v", c.name, err)
+		}
+		if ok {
+			t.Fatalf("%s: IsLocal = true, but the splitter is not local", c.name)
+		}
+	}
+}
+
+// The suffix-conditioned splitter is not merely unprovable: chunked
+// segmentation actually diverges from whole-document segmentation, which
+// is exactly the mis-extraction a forced StreamIncremental override
+// risks and a "local" verdict must never permit.
+func TestNonLocalSplitterActuallyDiverges(t *testing.T) {
+	block := "[^.!]*"
+	s := mustSplitter(t, "(x{"+block+"})(\\."+block+")*!|"+
+		block+"(\\."+block+")*\\.(x{"+block+"})(\\."+block+")*!")
+	doc := "ab.cd!e" // ends in neither '!' nor a clean block: S(doc) = ∅
+	if got := s.Split(doc); len(got) != 0 {
+		t.Fatalf("Split(%q) = %v, want empty", doc, got)
+	}
+	// Chunk size 1 sees "ab.cd!" mid-stream, believes "ab" is settled,
+	// and emits it — a span the whole document never produces.
+	if got := chunkedSplit(s, doc, 1); len(got) == 0 {
+		t.Fatalf("chunked segmentation unexpectedly agrees; the divergence witness is stale")
+	}
+}
+
+// Degenerate splitters are trivially local: they never produce two
+// spans in any buffer, so the segmenter never emits early.
+func TestIsLocalDegenerate(t *testing.T) {
+	for _, src := range []string{
+		"(x{})",                 // matches only the empty document
+		"(x{[^.]*})(\\.[^.]*)*", // first '.'-free block only: one span per document
+	} {
+		s := mustSplitter(t, src)
+		ok, err := s.IsLocal(0)
+		if err != nil {
+			t.Fatalf("%q: IsLocal: %v", src, err)
+		}
+		if !ok {
+			t.Fatalf("%q: IsLocal = false, want true", src)
+		}
+		assertChunkedMatches(t, src, s, []string{"", "a", "ab.cd", "x.y.z", "..", "q!r"})
+	}
+}
+
+// A starved state budget must surface as automata.ErrTooLarge (verdict
+// unknown), never as a false "local".
+func TestIsLocalStateLimit(t *testing.T) {
+	s := library.Sentences()
+	ok, err := s.IsLocal(1)
+	if !errors.Is(err, automata.ErrTooLarge) {
+		t.Fatalf("IsLocal(limit=1) = (%v, %v), want ErrTooLarge", ok, err)
+	}
+	if ok {
+		t.Fatal("IsLocal reported a proof while over budget")
+	}
+}

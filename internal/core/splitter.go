@@ -11,6 +11,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/span"
 	"repro/internal/vsa"
@@ -22,6 +23,12 @@ import (
 type Splitter struct {
 	auto     *vsa.Automaton
 	statuses []vsa.Status
+
+	// disjointOnce memoizes IsDisjoint: several decision procedures
+	// (locality, the engine's verdicts) gate on it, and the automaton is
+	// immutable once wrapped.
+	disjointOnce sync.Once
+	disjointVal  bool
 }
 
 // NewSplitter wraps a unary automaton as a splitter.
@@ -111,8 +118,15 @@ func splitOpKind(o vsa.OpSet) int {
 // status, whether the two spans differ, and whether an overlap has been
 // witnessed; a violation is two accepting runs with different, overlapping
 // spans. The search space is O(|Q|² · 9 · 4), matching the paper's NL
-// bound up to the byte-class bookkeeping.
+// bound up to the byte-class bookkeeping. The answer is memoized: the
+// automaton is immutable, and both the engine's verdicts and the
+// locality procedure gate on disjointness.
 func (s *Splitter) IsDisjoint() bool {
+	s.disjointOnce.Do(func() { s.disjointVal = s.isDisjoint() })
+	return s.disjointVal
+}
+
+func (s *Splitter) isDisjoint() bool {
 	type cfg struct {
 		q1, q2   int
 		st1, st2 int // 0 unopened, 1 open, 2 closed

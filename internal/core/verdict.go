@@ -43,12 +43,15 @@ func (v Verdict) MarshalText() ([]byte, error) { return []byte(v.String()), nil 
 // PlanVerdicts groups the verdicts that determine how a (spanner,
 // splitter) pair may be evaluated: whether the splitter is disjoint
 // (Proposition 5.5), whether the pair is split-correct for a supplied
-// split-spanner (Theorem 5.1/5.7), and whether the spanner is
-// self-splittable (Theorems 5.16–5.17). Note records why a verdict is
+// split-spanner (Theorem 5.1/5.7), whether the spanner is
+// self-splittable (Theorems 5.16–5.17), and whether the splitter is
+// local (Splitter.IsLocal) — i.e. proven safe for incremental chunked
+// segmentation of streamed documents. Note records why a verdict is
 // unknown (typically the state-space limit).
 type PlanVerdicts struct {
 	Disjoint       Verdict `json:"disjoint,omitempty"`
 	SplitCorrect   Verdict `json:"split_correct,omitempty"`
 	SelfSplittable Verdict `json:"self_splittable,omitempty"`
+	Local          Verdict `json:"local,omitempty"`
 	Note           string  `json:"note,omitempty"`
 }

@@ -7,15 +7,17 @@
 // across requests:
 //
 //   - A plan cache memoizes compiled VSet-automata together with their
-//     split-correctness / self-splittability / disjointness verdicts,
-//     behind an LRU with single-flight deduplication (concurrent
-//     requests for the same (spanner, splitter) pair run the decision
-//     procedures exactly once).
-//   - Documents may arrive as io.Reader streams: the splitter is applied
-//     incrementally with carry-over across chunk boundaries, and
-//     completed segments are dispatched to the parallel worker pool with
-//     configurable batching and backpressure while the tail of the
-//     document is still being read.
+//     split-correctness / self-splittability / disjointness / locality
+//     verdicts, behind an LRU with single-flight deduplication
+//     (concurrent requests for the same (spanner, splitter) pair run
+//     the decision procedures exactly once).
+//   - Documents may arrive as io.Reader streams: when the locality
+//     verdict proves it safe (or the operator forces it), the splitter
+//     is applied incrementally with carry-over across chunk boundaries,
+//     and completed segments are dispatched to the parallel worker pool
+//     with configurable batching and backpressure while the tail of the
+//     document is still being read; otherwise the stream is buffered
+//     whole, which is sound for arbitrary splitters.
 //   - Segment relations are shifted and merged into a deterministic
 //     (sorted, deduplicated) result, byte-identical to one-shot
 //     evaluation of the whole document.
@@ -52,22 +54,27 @@ type Config struct {
 	// the library default. Plans whose verdict exceeds the limit degrade
 	// to sequential evaluation instead of failing.
 	StateLimit int
-	// StreamIncremental opts in to incremental segmentation of streamed
-	// documents: segments are dispatched to the worker pool while the
-	// tail of the document is still being read. Incremental segmentation
-	// is exact only for local splitters — segment boundaries determined
-	// by separator bytes, like every disjoint splitter in
-	// internal/library — and can mis-segment a disjoint splitter whose
-	// segmentation depends on unbounded right context (see segmenter).
-	// Setting this flag is the deployment's assertion that its splitters
-	// are local. The default (false) buffers every streamed document
-	// whole before evaluation, which is sound for arbitrary splitters.
+	// StreamIncremental force-enables incremental segmentation of
+	// streamed documents for split plans whose splitter the locality
+	// decision procedure (core.Splitter.IsLocal) could NOT prove local.
+	// It is an unsafe assertion: incremental segmentation of a
+	// non-local splitter can silently mis-segment, and with this flag
+	// set the engine trusts the operator's claim instead of a proof.
+	// The flag is never needed for provably local splitters — those
+	// stream automatically (see WillStream) — and it never makes a
+	// sequential or non-disjoint plan stream. The default (false)
+	// streams exactly the split plans whose Verdicts.Local is yes and
+	// buffers everything else whole — including plans whose splitter is
+	// local but whose strategy settled on sequential — which is sound
+	// for arbitrary splitters.
 	StreamIncremental bool
 	// MaxDocBuffer caps the bytes the engine will hold in memory for one
-	// document: the whole document on the buffered path, the carry-over
-	// buffer on the streaming path. Documents exceeding it fail with
-	// ErrDocTooLarge. 0 selects the default (256 MiB); negative means
-	// unlimited.
+	// document: the whole document on the buffered paths (including
+	// inline documents given to Extract), the carry-over buffer — the
+	// suffix from the last still-open segment's start — on the streaming
+	// path. Documents exceeding it fail with ErrDocTooLarge (the daemon
+	// maps it to HTTP 413). 0 selects the default (256 MiB); negative
+	// means unlimited.
 	MaxDocBuffer int64
 }
 
@@ -93,15 +100,23 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Stats is a snapshot of engine counters for monitoring.
+// Stats is a snapshot of engine counters for monitoring. StreamedDocs
+// counts the documents that were segmented incrementally while being
+// read (WillStream true: a proven-local splitter, or the
+// StreamIncremental override); Documents minus StreamedDocs were
+// buffered whole (or arrived inline). StreamForced echoes the
+// configured StreamIncremental override so operators can see whether
+// streamed documents are covered by proofs alone.
 type Stats struct {
 	UptimeSec      float64    `json:"uptime_sec"`
 	Documents      uint64     `json:"documents"`
+	StreamedDocs   uint64     `json:"streamed_docs"`
 	Bytes          uint64     `json:"bytes"`
 	Segments       uint64     `json:"segments"`
 	SegmentsPerSec float64    `json:"segments_per_sec"`
 	Workers        int        `json:"workers"`
 	Batch          int        `json:"batch"`
+	StreamForced   bool       `json:"stream_forced"`
 	PlanCache      CacheStats `json:"plan_cache"`
 }
 
@@ -112,6 +127,7 @@ type Engine struct {
 	cache    *planCache
 	start    time.Time
 	docs     atomic.Uint64
+	streamed atomic.Uint64
 	bytes    atomic.Uint64
 	segments atomic.Uint64
 }
@@ -164,25 +180,39 @@ func (e *Engine) Extract(ctx context.Context, plan *Plan, doc string) (*span.Rel
 }
 
 // WillStream reports whether ExtractReader would segment this plan's
-// documents incrementally (true) or buffer them whole (false). Streaming
-// requires the engine's explicit StreamIncremental locality opt-in plus
-// a split plan with a disjoint splitter; everything else buffers, since
-// incremental segmentation of a disjoint-but-non-local splitter could
-// silently mis-segment. See segmenter for the locality assumption.
+// documents incrementally (true) or buffer them whole (false).
+// Streaming requires a split plan with a disjoint splitter, plus one
+// of:
+//
+//   - Verdicts.Local == yes: the locality decision procedure
+//     (core.Splitter.IsLocal, run once at plan compilation) proved
+//     incremental segmentation byte-identical to whole-document
+//     segmentation for every document and chunking — streaming is
+//     enabled automatically, no configuration required; or
+//   - Config.StreamIncremental: the operator's unsafe assertion that
+//     the splitter is local anyway (the verdict was "no" or unknown).
+//
+// Everything else buffers, since incremental segmentation of a
+// disjoint-but-non-local splitter can silently mis-segment. See
+// segmenter and internal/core/locality.go.
 func (e *Engine) WillStream(plan *Plan) bool {
-	return e.cfg.StreamIncremental &&
-		plan.Strategy == StrategySplit &&
-		plan.Verdicts.Disjoint == core.VerdictYes
+	if plan.Strategy != StrategySplit || plan.Verdicts.Disjoint != core.VerdictYes {
+		return false
+	}
+	return plan.Verdicts.Local == core.VerdictYes || e.cfg.StreamIncremental
 }
 
 // ExtractReader evaluates the plan on a document arriving as a stream.
-// For split plans with a disjoint splitter (see WillStream) the document
-// is segmented incrementally — segments already discovered are evaluated
+// For plans that stream (see WillStream: a proven-local disjoint
+// splitter, or the StreamIncremental override) the document is
+// segmented incrementally — segments already discovered are evaluated
 // on the worker pool while later chunks are still being read, with the
 // bounded dispatch channel providing backpressure. Other plans buffer
-// the whole stream and fall back to Extract. The result is identical to
-// Extract on the concatenated stream (for streamable splitters; see
-// segmenter). Memory is bounded by Config.MaxDocBuffer on both paths.
+// the whole stream and fall back to Extract. When the plan's
+// Verdicts.Local is yes the result is guaranteed identical to Extract
+// on the concatenated stream; under the StreamIncremental override the
+// guarantee is only as good as the operator's locality assertion.
+// Memory is bounded by Config.MaxDocBuffer on both paths.
 func (e *Engine) ExtractReader(ctx context.Context, plan *Plan, r io.Reader) (*span.Relation, error) {
 	if !e.WillStream(plan) {
 		doc, err := e.readAllBounded(r)
@@ -192,6 +222,7 @@ func (e *Engine) ExtractReader(ctx context.Context, plan *Plan, r io.Reader) (*s
 		return e.Extract(ctx, plan, doc)
 	}
 	e.docs.Add(1)
+	e.streamed.Add(1)
 
 	batches := make(chan []parallel.Segment, e.cfg.Workers)
 	readErr := make(chan error, 1)
@@ -288,13 +319,15 @@ func (e *Engine) Stats() Stats {
 	up := time.Since(e.start)
 	segs := e.segments.Load()
 	s := Stats{
-		UptimeSec: up.Seconds(),
-		Documents: e.docs.Load(),
-		Bytes:     e.bytes.Load(),
-		Segments:  segs,
-		Workers:   e.cfg.Workers,
-		Batch:     e.cfg.Batch,
-		PlanCache: e.cache.stats(),
+		UptimeSec:    up.Seconds(),
+		Documents:    e.docs.Load(),
+		StreamedDocs: e.streamed.Load(),
+		Bytes:        e.bytes.Load(),
+		Segments:     segs,
+		Workers:      e.cfg.Workers,
+		Batch:        e.cfg.Batch,
+		StreamForced: e.cfg.StreamIncremental,
+		PlanCache:    e.cache.stats(),
 	}
 	if up > 0 {
 		s.SegmentsPerSec = float64(segs) / up.Seconds()

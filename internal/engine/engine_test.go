@@ -26,9 +26,11 @@ const (
 const emailDoc = "write to ann@example or bob@corp. then ping eve@host! done."
 
 func newTestEngine() *Engine {
-	// StreamIncremental: the library splitters used by these tests are
-	// local, and the streaming paths are what the tests exercise.
-	return New(Config{Workers: 4, Batch: 2, ChunkSize: 7, PlanCache: 8, StreamIncremental: true})
+	// No StreamIncremental override: the library splitters used by these
+	// tests are proven local by the plan's verdict, so the streaming
+	// paths the tests exercise are the ones real deployments get by
+	// default.
+	return New(Config{Workers: 4, Batch: 2, ChunkSize: 7, PlanCache: 8})
 }
 
 func mustPlan(t *testing.T, e *Engine, req Request) *Plan {
@@ -48,6 +50,9 @@ func TestPlanSelectsSplitStrategy(t *testing.T) {
 	}
 	if plan.Verdicts.SelfSplittable != core.VerdictYes || plan.Verdicts.Disjoint != core.VerdictYes {
 		t.Fatalf("verdicts = %+v, want self-splittable and disjoint", plan.Verdicts)
+	}
+	if plan.Verdicts.Local != core.VerdictYes {
+		t.Fatalf("verdicts = %+v, want a locality proof for the sentence splitter", plan.Verdicts)
 	}
 }
 
@@ -102,7 +107,7 @@ func TestExtractZeroSegments(t *testing.T) {
 		ps:       plan.p,
 		s:        plan.s,
 		Strategy: StrategySplit,
-		Verdicts: core.PlanVerdicts{Disjoint: core.VerdictYes},
+		Verdicts: core.PlanVerdicts{Disjoint: core.VerdictYes, Local: core.VerdictYes},
 	}
 	if segs := plan.s.Split("bbb"); len(segs) != 0 {
 		t.Fatalf("expected zero segments, got %v", segs)
@@ -169,14 +174,16 @@ func TestStreamChunkBoundaryMidSegment(t *testing.T) {
 func TestStreamMatchesOneShotOnCorpus(t *testing.T) {
 	doc := corpus.Reviews(7, 40)
 	joined := strings.Join(doc, "\n")
-	e := New(Config{Workers: 4, Batch: 8, ChunkSize: 1 << 10, StreamIncremental: true})
+	e := New(Config{Workers: 4, Batch: 8, ChunkSize: 1 << 10})
 	neg := library.NegativeSentiment()
+	// Hand-built plan; the Local verdict is honest (the sentence splitter
+	// is proven local in TestPlanSelectsSplitStrategy and in core).
 	plan := &Plan{
 		p:        neg,
 		ps:       neg,
 		s:        library.Sentences(),
 		Strategy: StrategySplit,
-		Verdicts: core.PlanVerdicts{Disjoint: core.VerdictYes, SelfSplittable: core.VerdictYes},
+		Verdicts: core.PlanVerdicts{Disjoint: core.VerdictYes, SelfSplittable: core.VerdictYes, Local: core.VerdictYes},
 	}
 	want := parallel.SplitEval(neg, parallel.SegmentsOf(joined, plan.s.Split(joined)), 4)
 	got, err := e.ExtractReader(context.Background(), plan, strings.NewReader(joined))
@@ -307,10 +314,10 @@ func TestMaxDocBufferStreaming(t *testing.T) {
 	// A boundary-less document grows the carry-over past the budget; the
 	// streaming path must fail with ErrDocTooLarge instead of buffering
 	// without bound.
-	e := New(Config{Workers: 2, ChunkSize: 8, MaxDocBuffer: 32, StreamIncremental: true})
+	e := New(Config{Workers: 2, ChunkSize: 8, MaxDocBuffer: 32})
 	plan := mustPlan(t, e, Request{Spanner: emailFormula, Splitter: sentenceFormula})
 	if !e.WillStream(plan) {
-		t.Fatal("expected a streaming plan")
+		t.Fatal("expected a streaming plan (the sentence splitter is proven local)")
 	}
 	noBoundaries := strings.Repeat("a", 128) // no sentence terminator anywhere
 	_, err := e.ExtractReader(context.Background(), plan, strings.NewReader(noBoundaries))
@@ -334,18 +341,17 @@ func TestMaxDocBufferBuffered(t *testing.T) {
 	}
 }
 
-func TestStreamingIsOptIn(t *testing.T) {
-	// Without the StreamIncremental locality opt-in the engine must
-	// buffer streamed documents whole — the sound default for
-	// disjoint-but-non-local splitters — and still produce identical
-	// results.
+func TestProvenLocalStreamsWithoutOverride(t *testing.T) {
+	// The sentence splitter is proven local by the plan's verdict, so a
+	// default engine — no StreamIncremental — streams it incrementally,
+	// and the streamed-document counter records it.
 	e := New(Config{Workers: 2, ChunkSize: 4})
 	plan := mustPlan(t, e, Request{Spanner: emailFormula, Splitter: sentenceFormula})
-	if plan.Verdicts.Disjoint != core.VerdictYes {
-		t.Fatalf("verdicts = %+v, want a disjoint splitter", plan.Verdicts)
+	if plan.Verdicts.Local != core.VerdictYes {
+		t.Fatalf("verdicts = %+v, want local=yes", plan.Verdicts)
 	}
-	if e.WillStream(plan) {
-		t.Fatal("engine without the locality opt-in must not stream")
+	if !e.WillStream(plan) {
+		t.Fatal("proven-local plan must stream without any override")
 	}
 	got, err := e.ExtractReader(context.Background(), plan, &fixedChunkReader{s: emailDoc, n: 3})
 	if err != nil {
@@ -356,7 +362,51 @@ func TestStreamingIsOptIn(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !got.Equal(want) {
-		t.Fatal("buffered stream disagrees with one-shot")
+		t.Fatal("streamed result disagrees with one-shot")
+	}
+	if st := e.Stats(); st.StreamedDocs != 1 || st.StreamForced {
+		t.Fatalf("stats = %+v, want 1 streamed doc and no force flag", st)
+	}
+}
+
+// nonLocalSplitterFormula is disjoint — every '.'-separated block except
+// the first — but not local: a suffix re-split from a cut drops its own
+// first block, so the locality procedure must refuse it.
+const nonLocalSplitterFormula = `[^.]*\.([^.]*\.)*(x{[^.]*})(\.[^.]*)*`
+
+func TestUnprovenSplitterBuffersUnlessForced(t *testing.T) {
+	// A disjoint splitter the procedure cannot prove local must buffer by
+	// default; StreamIncremental force-overrides the verdict — the
+	// operator's unsafe locality assertion.
+	build := func(e *Engine) *Plan {
+		base := mustPlan(t, e, Request{Spanner: emailFormula, Splitter: nonLocalSplitterFormula})
+		if base.Verdicts.Disjoint != core.VerdictYes {
+			t.Fatalf("verdicts = %+v, want a disjoint splitter", base.Verdicts)
+		}
+		if base.Verdicts.Local != core.VerdictNo {
+			t.Fatalf("verdicts = %+v, want local=no", base.Verdicts)
+		}
+		// The pair is not self-splittable, so force the split strategy to
+		// isolate WillStream's locality gate.
+		return &Plan{
+			Req:      base.Req,
+			p:        base.p,
+			ps:       base.p,
+			s:        base.SplitterOf(),
+			Strategy: StrategySplit,
+			Verdicts: base.Verdicts,
+		}
+	}
+	def := New(Config{Workers: 2, ChunkSize: 4})
+	if def.WillStream(build(def)) {
+		t.Fatal("unproven splitter must not stream on a default engine")
+	}
+	forced := New(Config{Workers: 2, ChunkSize: 4, StreamIncremental: true})
+	if !forced.WillStream(build(forced)) {
+		t.Fatal("StreamIncremental must force-override the locality verdict")
+	}
+	if st := forced.Stats(); !st.StreamForced {
+		t.Fatalf("stats = %+v, want the force flag echoed", st)
 	}
 }
 

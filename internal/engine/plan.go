@@ -129,6 +129,24 @@ func compilePlan(req Request, limit int) (*Plan, error) {
 		return nil, fmt.Errorf("engine: splitter: %w", err)
 	}
 	plan.Verdicts.Disjoint = core.VerdictOf(plan.s.IsDisjoint())
+	// Locality is what licenses incremental segmentation of streamed
+	// documents (Engine.WillStream): computed here, once, under the plan
+	// cache's single-flight, like every other verdict. Only disjoint
+	// splitters can be local; an over-budget analysis leaves the verdict
+	// unknown and the plan buffers.
+	if plan.Verdicts.Disjoint != core.VerdictYes {
+		plan.Verdicts.Local = core.VerdictNo
+	} else {
+		local, err := plan.s.IsLocal(limit)
+		switch {
+		case errors.Is(err, automata.ErrTooLarge):
+			plan.Verdicts.Note = appendNote(plan.Verdicts.Note, "locality undecided: "+err.Error())
+		case err != nil:
+			return nil, fmt.Errorf("engine: locality: %w", err)
+		default:
+			plan.Verdicts.Local = core.VerdictOf(local)
+		}
+	}
 
 	if req.SplitSpanner != "" {
 		ps, err := regexformula.Compile(req.SplitSpanner)
@@ -138,7 +156,7 @@ func compilePlan(req Request, limit int) (*Plan, error) {
 		ok, err := core.SplitCorrectAuto(plan.p, ps, plan.s, limit)
 		switch {
 		case errors.Is(err, automata.ErrTooLarge):
-			plan.Verdicts.Note = "split-correctness undecided: " + err.Error()
+			plan.Verdicts.Note = appendNote(plan.Verdicts.Note, "split-correctness undecided: "+err.Error())
 		case err != nil:
 			return nil, fmt.Errorf("engine: split-correctness: %w", err)
 		default:
@@ -155,7 +173,7 @@ func compilePlan(req Request, limit int) (*Plan, error) {
 	ok, err := selfSplittable(plan.p, plan.s, limit)
 	switch {
 	case errors.Is(err, automata.ErrTooLarge):
-		plan.Verdicts.Note = "self-splittability undecided: " + err.Error()
+		plan.Verdicts.Note = appendNote(plan.Verdicts.Note, "self-splittability undecided: "+err.Error())
 	case err != nil:
 		return nil, fmt.Errorf("engine: self-splittability: %w", err)
 	default:
@@ -167,6 +185,15 @@ func compilePlan(req Request, limit int) (*Plan, error) {
 	}
 	plan.CompileTime = time.Since(t0)
 	return plan, nil
+}
+
+// appendNote joins verdict notes: several procedures can independently
+// exceed the state budget on one plan.
+func appendNote(existing, note string) string {
+	if existing == "" {
+		return note
+	}
+	return existing + "; " + note
 }
 
 // warm forces the evaluation caches (byte-class tables, lazy-DFA start

@@ -19,17 +19,20 @@ import (
 // that makes a chunk boundary landing mid-segment invisible to the
 // result.
 //
-// Soundness requires the splitter to be disjoint and local: its
-// segmentation of any document must factor at segment starts, i.e.
-// S(d) restricted to positions ≥ the start of a segment equals the
-// (shifted) segmentation of the corresponding suffix of d. The
-// sentence, paragraph, token and record splitters of internal/library
-// are local (their segment boundaries are determined by separator
-// bytes); the engine only streams plans whose splitter is disjoint and
-// falls back to whole-document buffering otherwise. Callers that stream
-// a non-local splitter get the same guarantee as ParallelEval gives a
-// non-split-correct plan: none — which is why Engine.ExtractReader
-// gates streaming on the plan's verdicts.
+// Soundness requires the splitter to be disjoint and local: emitted
+// segments must survive any extension of the document, and the
+// segmentation of the retained suffix must equal the tail of the
+// whole-document segmentation. Whether a disjoint splitter has this
+// property is decided on its automaton by core.Splitter.IsLocal; the
+// engine computes that verdict at plan compilation and streams
+// automatically when it is yes (the sentence, paragraph, token and
+// record splitters of internal/library are all proven local), buffering
+// otherwise. Config.StreamIncremental force-overrides a "no"/unknown
+// verdict — the operator's unsafe assertion of locality — and a caller
+// that forces a genuinely non-local splitter gets the same guarantee
+// ParallelEval gives a non-split-correct plan: none. See
+// internal/core/locality.go for the decision procedure and the exact
+// property it certifies.
 type segmenter struct {
 	s   *core.Splitter
 	buf []byte
@@ -78,9 +81,10 @@ func (g *segmenter) feed(chunk []byte) []parallel.Segment {
 	out := g.emit(spans[:len(spans)-1])
 	// Cut the buffer down to the held segment's start. Disjointness
 	// guarantees every emitted span ends at or before held.Start, so no
-	// emitted text is needed again; the gap before held holds only
-	// separator bytes, which a local splitter never carries across a
-	// segment start.
+	// emitted text is needed again; locality (proven by the plan's
+	// verdict, or asserted via StreamIncremental) guarantees the
+	// splitter never needs the bytes before a segment start to segment
+	// the suffix.
 	cut := held.Start - 1
 	g.off += cut
 	n := copy(g.buf, g.buf[cut:])

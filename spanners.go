@@ -218,6 +218,19 @@ func (s *Splitter) Segments(doc string) []core.Segment { return s.s.Segments(doc
 // (Proposition 5.5).
 func (s *Splitter) IsDisjoint() bool { return s.s.IsDisjoint() }
 
+// IsLocal decides whether the splitter provably supports incremental
+// chunked segmentation: splitting a document chunk-at-a-time with
+// carry-over (the streaming engine's segmenter) is guaranteed
+// byte-identical to splitting it whole, for every document and every
+// chunking. Only disjoint splitters can be local. The procedure is
+// sound but incomplete: true is a machine-checked proof and licenses
+// streaming; false means no proof was found and the engine will buffer
+// (or the operator may force streaming at their own risk via
+// EngineConfig.StreamIncremental). ErrTooLarge reports a state-budget
+// overflow, i.e. an unknown verdict. See internal/core/locality.go for
+// the decided property and the procedure.
+func (s *Splitter) IsLocal() (bool, error) { return s.s.IsLocal(DefaultLimit) }
+
 // Compose returns the spanner P_S ∘ S (Section 3, Lemma C.2).
 func Compose(ps *Spanner, s *Splitter) *Spanner {
 	return &Spanner{core.Compose(ps.auto, s.s)}
