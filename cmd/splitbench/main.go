@@ -1,18 +1,21 @@
 // Command splitbench regenerates the experiments of EXPERIMENTS.md: the
 // split-then-distribute speedups of the paper's Section 1 (E1–E5), the
-// complexity-shape measurements for the decision procedures (T1–T8), and
+// complexity-shape measurements for the decision procedures (T1–T8),
 // the evaluation-core throughput snapshot (EVAL) that tracks the hot
-// path across PRs.
+// path across PRs, and the split-evaluation scheduling snapshot (SPLIT)
+// that tracks the work-stealing executor against the sequential-Eval
+// roofline.
 //
 // Usage:
 //
-//	splitbench [-exp all|EVAL|E1|...|T8] [-bytes n] [-docs n] [-workers n] [-seed n] [-json file]
+//	splitbench [-exp all|EVAL|SPLIT|E1|...|T8] [-bytes n] [-docs n] [-workers n] [-seed n] [-json file]
 //
-// With -json, the EVAL experiment additionally writes its measurements
-// (MB/s for EvalBool/Eval/SplitEval on the standard dense, sparse and
-// non-matching corpora) as a machine-readable snapshot, e.g.
-// BENCH_PR3.json — CI runs this to keep the benchmark path compiling and
-// to record the performance trajectory.
+// With -json, the EVAL and SPLIT experiments additionally write their
+// measurements (MB/s on the standard corpora) as a machine-readable
+// snapshot, e.g. BENCH_PR3.json (EVAL) or BENCH_PR5.json (SPLIT) — CI
+// runs short versions of both to keep the benchmark path compiling and
+// to record the performance trajectory. SPLIT verifies every split
+// datapoint byte-identical to sequential evaluation before timing it.
 package main
 
 import (
@@ -39,33 +42,34 @@ import (
 )
 
 var (
-	expFlag  = flag.String("exp", "all", "experiment id (EVAL, E1..E5, T1..T8) or all")
+	expFlag  = flag.String("exp", "all", "experiment id (EVAL, SPLIT, E1..E5, T1..T8) or all")
 	bytesN   = flag.Int("bytes", 1<<21, "corpus size in bytes for E1-E3 and EVAL")
 	docsN    = flag.Int("docs", 3000, "collection size for E4-E5")
 	workers  = flag.Int("workers", 5, "worker count (the paper uses 5 cores/nodes)")
 	seed     = flag.Uint64("seed", 1, "corpus seed")
-	jsonPath = flag.String("json", "", "write the EVAL throughput snapshot to this file")
+	jsonPath = flag.String("json", "", "write the EVAL/SPLIT throughput snapshot to this file")
 )
 
 func main() {
 	flag.Parse()
 	exps := map[string]func(){
-		"EVAL": evalThroughput,
-		"E1":   func() { ngramSpeedup("E1 Wikipedia 2-grams (paper: 2.10x)", corpus.Wikipedia(*seed, *bytesN), 2) },
-		"E2":   func() { ngramSpeedup("E2 Wikipedia 3-grams (paper: 3.11x)", corpus.Wikipedia(*seed, *bytesN), 3) },
-		"E3":   func() { ngramSpeedup("E3 PubMed 2-grams    (paper: 1.90x)", corpus.PubMed(*seed, *bytesN), 2) },
-		"E4":   e4Reuters,
-		"E5":   e5Amazon,
-		"T1":   t1Containment,
-		"T2":   t2WeakDeterminism,
-		"T3":   t3Disjointness,
-		"T4":   t4Cover,
-		"T5":   t5SplitCorrect,
-		"T6":   t6CanonicalSize,
-		"T7":   t7Splittability,
-		"T8":   t8Reasoning,
+		"EVAL":  evalThroughput,
+		"SPLIT": splitThroughput,
+		"E1":    func() { ngramSpeedup("E1 Wikipedia 2-grams (paper: 2.10x)", corpus.Wikipedia(*seed, *bytesN), 2) },
+		"E2":    func() { ngramSpeedup("E2 Wikipedia 3-grams (paper: 3.11x)", corpus.Wikipedia(*seed, *bytesN), 3) },
+		"E3":    func() { ngramSpeedup("E3 PubMed 2-grams    (paper: 1.90x)", corpus.PubMed(*seed, *bytesN), 2) },
+		"E4":    e4Reuters,
+		"E5":    e5Amazon,
+		"T1":    t1Containment,
+		"T2":    t2WeakDeterminism,
+		"T3":    t3Disjointness,
+		"T4":    t4Cover,
+		"T5":    t5SplitCorrect,
+		"T6":    t6CanonicalSize,
+		"T7":    t7Splittability,
+		"T8":    t8Reasoning,
 	}
-	order := []string{"EVAL", "E1", "E2", "E3", "E4", "E5", "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8"}
+	order := []string{"EVAL", "SPLIT", "E1", "E2", "E3", "E4", "E5", "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8"}
 	if *expFlag == "all" {
 		for _, id := range order {
 			exps[id]()
@@ -118,19 +122,6 @@ func evalThroughput() {
 	nonMatching := corpus.Wikipedia(*seed, *bytesN)
 	segs := parallel.SegmentsOf(dense, library.FastSentenceSplit(dense))
 
-	measure := func(op, corpusName, doc string, f func() int) perfResult {
-		// Warm up once, then time enough repetitions to smooth noise.
-		tuples := f()
-		const reps = 5
-		t0 := time.Now()
-		for i := 0; i < reps; i++ {
-			f()
-		}
-		dur := time.Since(t0)
-		mbs := float64(len(doc)) * reps / dur.Seconds() / 1e6
-		fmt.Printf("%-9s %-12s %9d bytes  %8.1f MB/s  %d tuples\n", op, corpusName, len(doc), mbs, tuples)
-		return perfResult{Op: op, Corpus: corpusName, Bytes: len(doc), MBPerS: mbs, Tuples: tuples}
-	}
 	var results []perfResult
 	results = append(results,
 		measure("EvalBool", "dense", dense, func() int {
@@ -145,11 +136,31 @@ func evalThroughput() {
 		measure("SplitEval", "dense", dense, func() int { return parallel.SplitEval(p, segs, *workers).Len() }),
 	)
 	results = append(results, engineStreamingResults(dense, measure)...)
+	writeSnapshot("EVAL", results)
+}
+
+// measure times one throughput datapoint: warm up once, then time
+// enough repetitions to smooth noise.
+func measure(op, corpusName, doc string, f func() int) perfResult {
+	tuples := f()
+	const reps = 5
+	t0 := time.Now()
+	for i := 0; i < reps; i++ {
+		f()
+	}
+	dur := time.Since(t0)
+	mbs := float64(len(doc)) * reps / dur.Seconds() / 1e6
+	fmt.Printf("%-14s %-12s %9d bytes  %8.1f MB/s  %d tuples\n", op, corpusName, len(doc), mbs, tuples)
+	return perfResult{Op: op, Corpus: corpusName, Bytes: len(doc), MBPerS: mbs, Tuples: tuples}
+}
+
+// writeSnapshot emits the machine-readable -json snapshot, if requested.
+func writeSnapshot(experiment string, results []perfResult) {
 	if *jsonPath == "" {
 		return
 	}
 	snap := perfSnapshot{
-		Experiment: "EVAL",
+		Experiment: experiment,
 		GoVersion:  runtime.Version(),
 		NumCPU:     runtime.NumCPU(),
 		Workers:    *workers,
@@ -157,15 +168,52 @@ func evalThroughput() {
 	}
 	out, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "EVAL: %v\n", err)
+		fmt.Fprintf(os.Stderr, "%s: %v\n", experiment, err)
 		os.Exit(1)
 	}
 	out = append(out, '\n')
 	if err := os.WriteFile(*jsonPath, out, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "EVAL: %v\n", err)
+		fmt.Fprintf(os.Stderr, "%s: %v\n", experiment, err)
 		os.Exit(1)
 	}
 	fmt.Printf("snapshot written to %s\n", *jsonPath)
+}
+
+// splitThroughput is the PR 5 scheduling-overhead snapshot: sequential
+// Eval as the roofline, SplitEval on the work-stealing executor across
+// worker counts, and the engine's streamed/buffered reader paths, all
+// on the dense corpus. Every split result is verified byte-identical to
+// the sequential reference before timing — a split-evaluation datapoint
+// that disagrees with Eval would be measuring a correctness bug.
+func splitThroughput() {
+	header("SPLIT work-stealing split evaluation (MB/s)")
+	p := library.NegativeSentiment()
+	p.Prepare()
+	dense := strings.Join(corpus.Reviews(*seed, *bytesN/256), "\n")
+	segs := parallel.SegmentsOf(dense, library.FastSentenceSplit(dense))
+	fmt.Printf("segments=%d  workers=%d\n", len(segs), *workers)
+
+	seq := p.Eval(dense)
+	workerCounts := []int{1, 2, *workers}
+	if *workers <= 2 {
+		workerCounts = []int{1, 2}
+	}
+	for _, w := range workerCounts {
+		if got := parallel.SplitEval(p, segs, w); !got.Equal(seq) {
+			fmt.Fprintf(os.Stderr, "SPLIT: split evaluation at %d workers disagrees with sequential Eval\n", w)
+			os.Exit(1)
+		}
+	}
+
+	results := []perfResult{
+		measure("Eval", "dense", dense, func() int { return p.Eval(dense).Len() }),
+	}
+	for _, w := range workerCounts {
+		results = append(results, measure(fmt.Sprintf("SplitEval/w%d", w), "dense", dense,
+			func() int { return parallel.SplitEval(p, segs, w).Len() }))
+	}
+	results = append(results, engineStreamingResults(dense, measure)...)
+	writeSnapshot("SPLIT", results)
 }
 
 // engineStreamingResults measures the engine's split evaluation of a

@@ -14,10 +14,11 @@
 //   - Documents may arrive as io.Reader streams: when the locality
 //     verdict proves it safe (or the operator forces it), the splitter
 //     is applied incrementally with carry-over across chunk boundaries,
-//     and completed segments are dispatched to the parallel worker pool
-//     with configurable batching and backpressure while the tail of the
-//     document is still being read; otherwise the stream is buffered
-//     whole, which is sound for arbitrary splitters.
+//     and completed segments are dispatched to the work-stealing
+//     split-evaluation executor (internal/parallel) with configurable
+//     batching and backpressure while the tail of the document is still
+//     being read; otherwise the stream is buffered whole, which is
+//     sound for arbitrary splitters.
 //   - Segment relations are shifted and merged into a deterministic
 //     (sorted, deduplicated) result, byte-identical to one-shot
 //     evaluation of the whole document.
@@ -43,10 +44,12 @@ import (
 type Config struct {
 	// PlanCache is the maximum number of cached plans (default 128).
 	PlanCache int
-	// Workers is the evaluation worker-pool size (default GOMAXPROCS).
+	// Workers is the number of evaluation workers in the work-stealing
+	// executor (default GOMAXPROCS). Results never depend on it.
 	Workers int
-	// Batch is the number of segments grouped into one worker task
-	// (default 16).
+	// Batch is the number of segments grouped into one dispatched task —
+	// the executor's scheduling grain (default 16). Results never depend
+	// on it.
 	Batch int
 	// ChunkSize is the read size for streaming ingestion (default 64 KiB).
 	ChunkSize int
@@ -156,8 +159,8 @@ func (e *Engine) Plan(ctx context.Context, req Request) (plan *Plan, hit bool, e
 }
 
 // Extract evaluates the plan on an in-memory document, using split
-// evaluation on the worker pool when the plan's verdicts justify it and
-// sequential evaluation otherwise. The result is sorted and
+// evaluation on the work-stealing executor when the plan's verdicts
+// justify it and sequential evaluation otherwise. The result is sorted and
 // deduplicated. Like the reader paths, Extract enforces
 // Config.MaxDocBuffer: an inline document over the budget fails with
 // ErrDocTooLarge instead of being evaluated.
@@ -206,8 +209,10 @@ func (e *Engine) WillStream(plan *Plan) bool {
 // For plans that stream (see WillStream: a proven-local disjoint
 // splitter, or the StreamIncremental override) the document is
 // segmented incrementally — segments already discovered are evaluated
-// on the worker pool while later chunks are still being read, with the
-// bounded dispatch channel providing backpressure. Other plans buffer
+// by the work-stealing executor while later chunks are still being
+// read. Idle workers block on the bounded dispatch channel, so a
+// saturated pool stalls the segmenter and, through it, the reader —
+// backpressure reaches all the way to the network socket. Other plans buffer
 // the whole stream and fall back to Extract. When the plan's
 // Verdicts.Local is yes the result is guaranteed identical to Extract
 // on the concatenated stream; under the StreamIncremental override the

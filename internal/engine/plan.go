@@ -20,7 +20,8 @@ const (
 	// be equivalent.
 	StrategySequential Strategy = iota
 	// StrategySplit applies the splitter, evaluates the split-spanner on
-	// every segment on the worker pool, and merges the shifted results —
+	// every segment on the work-stealing executor, and merges the shifted
+	// results —
 	// the paper's split-then-distribute plan, safe because the plan's
 	// verdict established P = P_S ∘ S.
 	StrategySplit

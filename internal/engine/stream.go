@@ -7,8 +7,9 @@ import (
 )
 
 // segmenter applies a splitter incrementally to a document arriving as
-// chunks, so that segments are dispatched to the worker pool while the
-// rest of the document is still being read.
+// chunks, so that segments are dispatched to the work-stealing
+// split-evaluation executor while the rest of the document is still
+// being read.
 //
 // The strategy: keep a buffer of the not-yet-segmented suffix of the
 // document. After each chunk, run the splitter on the buffer; every

@@ -1,0 +1,84 @@
+package parallel
+
+import "sync"
+
+// chunk is the executor's unit of scheduling: a run of segments bound
+// for one destination relation. dest indexes the executor's result
+// slice (always 0 for the single-document evaluators; the document
+// index for the collection evaluators).
+type chunk struct {
+	dest int
+	segs []Segment
+}
+
+// deque is a work-stealing deque of chunks in the Blumofe–Leiserson
+// shape: the owning worker pushes and pops at the back (LIFO, so the
+// chunk it just split off stays cache-warm), thieves take from the
+// front (FIFO, the oldest — and for split chunks, largest-remaining —
+// work, which minimizes how often a thief has to come back).
+//
+// The implementation is lightly locked rather than lock-free: one
+// uncontended mutex acquisition per chunk (not per segment) is noise
+// next to a segment evaluation, steals are rare by construction, and —
+// unlike the classic version with its benign racy buffer reads — every
+// operation is exactly synchronized, so the race detector stays
+// meaningful for the code that matters (the evaluation core the workers
+// share).
+type deque struct {
+	mu   sync.Mutex
+	buf  []chunk
+	head int // index of the oldest (stealable) chunk; len(buf) is the back
+}
+
+// push appends a chunk at the back. Only the owning worker pushes.
+func (d *deque) push(c chunk) {
+	d.mu.Lock()
+	d.buf = append(d.buf, c)
+	d.mu.Unlock()
+}
+
+// pop removes the newest chunk (back). Only the owning worker pops.
+func (d *deque) pop() (chunk, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head == len(d.buf) {
+		d.reset()
+		return chunk{}, false
+	}
+	n := len(d.buf) - 1
+	c := d.buf[n]
+	d.buf[n] = chunk{} // release the segment slice to the GC
+	d.buf = d.buf[:n]
+	if d.head == len(d.buf) {
+		d.reset()
+	}
+	return c, true
+}
+
+// steal removes the oldest chunk (front). Any worker may steal.
+func (d *deque) steal() (chunk, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head == len(d.buf) {
+		return chunk{}, false
+	}
+	c := d.buf[d.head]
+	d.buf[d.head] = chunk{}
+	d.head++
+	return c, true
+}
+
+// size reports the number of queued chunks (diagnostics and tests).
+func (d *deque) size() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.buf) - d.head
+}
+
+// reset reclaims the consumed prefix once the deque drains, so a
+// long-lived worker does not accumulate an ever-growing buffer of dead
+// slots. Callers hold d.mu.
+func (d *deque) reset() {
+	d.buf = d.buf[:0]
+	d.head = 0
+}

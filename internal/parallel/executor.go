@@ -1,0 +1,220 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/span"
+	"repro/internal/vsa"
+)
+
+// This file implements the work-stealing split-evaluation executor that
+// backs SplitEval, SplitEvalCtx, SplitEvalBatches, CollectionEval and
+// CollectionEvalSplit. The shape follows Blumofe & Leiserson
+// ("Scheduling Multithreaded Computations by Work Stealing"): each
+// worker owns a chunked deque; work is dealt (or arrives) in chunks of
+// several segments; a worker that runs dry steals the oldest chunk from
+// a random victim. Results never cross a channel: each worker appends
+// shifted tuples into its own arena-backed relation accumulator
+// (vsa.EvalAppend), and the per-worker accumulators are concatenated and
+// offset-sorted once at the end — the merged relation is therefore
+// byte-identical no matter how chunks were dealt, stolen or interleaved.
+
+// executor is one split-evaluation run: a set of workers, their deques
+// and accumulators, and (in streaming mode) the feed they block on when
+// idle.
+type executor struct {
+	ps    *vsa.Automaton
+	ctx   context.Context
+	grain int // split chunks larger than this; 0 disables splitting
+	ndest int
+
+	// recv, when non-nil, blocks for the next chunk from the external
+	// feed (the engine's segmenter, a collection's splitter producer).
+	// It returns ok=false when the feed is exhausted — closed, or the
+	// context fired; the worker loop re-checks ctx to distinguish.
+	recv func(context.Context) (chunk, bool)
+
+	deques []deque
+	accs   []accumulator
+}
+
+// accumulator is one worker's private result store: per-destination
+// relations whose tuples are carved from a shared per-worker arena.
+// Only the owning worker touches it until the final merge, which runs
+// strictly after all workers exit.
+type accumulator struct {
+	vars  []string
+	arena span.TupleArena
+	rels  []*span.Relation // lazily created, indexed by chunk.dest
+}
+
+func (a *accumulator) rel(dest int) *span.Relation {
+	if a.rels[dest] == nil {
+		a.rels[dest] = span.NewRelation(a.vars...)
+	}
+	return a.rels[dest]
+}
+
+// newExecutor prepares an executor with nw workers over ndest
+// destination relations. ps is Prepared so the workers share warm
+// evaluation caches instead of racing to build them.
+func newExecutor(ctx context.Context, ps *vsa.Automaton, nw, ndest, grain int, recv func(context.Context) (chunk, bool)) *executor {
+	ps.Prepare()
+	x := &executor{
+		ps:     ps,
+		ctx:    ctx,
+		grain:  grain,
+		ndest:  ndest,
+		recv:   recv,
+		deques: make([]deque, nw),
+		accs:   make([]accumulator, nw),
+	}
+	for i := range x.accs {
+		x.accs[i] = accumulator{vars: ps.Vars, rels: make([]*span.Relation, ndest)}
+	}
+	return x
+}
+
+// deal distributes pre-chunked work round-robin across the worker
+// deques before the workers start (slice mode). Round-robin, not
+// blocks: neighboring chunks cover neighboring document regions with
+// similar match density, so interleaving them balances the expected
+// load per worker before any steal is needed.
+func (x *executor) deal(chunks []chunk) {
+	for i, c := range chunks {
+		x.deques[i%len(x.deques)].push(c)
+	}
+}
+
+// run spawns the workers, waits for them, and merges. The merged
+// relations are deduplicated and offset-sorted, one per destination —
+// deterministic regardless of the steal schedule. On cancellation the
+// workers stop between segments and whatever they had accumulated is
+// merged and returned (the partial-result contract of SplitEvalCtx).
+func (x *executor) run() []*span.Relation {
+	var wg sync.WaitGroup
+	for id := range x.deques {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			x.worker(id)
+		}()
+	}
+	wg.Wait()
+	return x.merge()
+}
+
+// worker is one scheduling loop: drain the own deque, then steal, then
+// (streaming mode) block on the feed; exit when all three are dry. A
+// worker always drains its own deque before exiting, so chunks it split
+// off are never orphaned — at worst a late-splitting worker finishes
+// them itself instead of having them stolen.
+func (x *executor) worker(id int) {
+	self := &x.deques[id]
+	acc := &x.accs[id]
+	rng := uint32(id)*2654435761 + 1 // per-worker victim sequence, any nonzero seed
+	for {
+		if x.ctx.Err() != nil {
+			return
+		}
+		c, ok := self.pop()
+		if !ok {
+			c, ok = x.trySteal(id, &rng)
+		}
+		if !ok && x.recv != nil {
+			if c, ok = x.recv(x.ctx); !ok {
+				// Feed exhausted. One more sweep: a peer may have split a
+				// late chunk after our first sweep came up empty.
+				c, ok = x.trySteal(id, &rng)
+			}
+		}
+		if !ok {
+			return
+		}
+		x.exec(c, self, acc)
+	}
+}
+
+// trySteal sweeps every other worker's deque once, starting from a
+// random victim so idle workers do not convoy on the same one.
+func (x *executor) trySteal(id int, rng *uint32) (chunk, bool) {
+	n := len(x.deques)
+	*rng ^= *rng << 13
+	*rng ^= *rng >> 17
+	*rng ^= *rng << 5
+	start := int(*rng % uint32(n))
+	for k := 0; k < n; k++ {
+		v := start + k
+		if v >= n {
+			v -= n
+		}
+		if v == id {
+			continue
+		}
+		if c, ok := x.deques[v].steal(); ok {
+			return c, true
+		}
+	}
+	return chunk{}, false
+}
+
+// exec evaluates one chunk into the worker's accumulator. A chunk
+// larger than the grain is halved first, with the far half pushed onto
+// the own deque where idle workers can steal it — this is how a single
+// oversized arrival (a whole document's segments from a collection
+// producer, a flush burst from the streaming segmenter) spreads across
+// the pool. Cancellation is honored between segments; the segment in
+// flight completes, matching the pre-executor behavior.
+func (x *executor) exec(c chunk, self *deque, acc *accumulator) {
+	for x.grain > 0 && len(c.segs) > x.grain {
+		half := (len(c.segs) + 1) / 2
+		self.push(chunk{dest: c.dest, segs: c.segs[half:]})
+		c.segs = c.segs[:half]
+	}
+	rel := acc.rel(c.dest)
+	for _, seg := range c.segs {
+		if x.ctx.Err() != nil {
+			return
+		}
+		x.ps.EvalAppend(seg.Text, seg.Span, rel, &acc.arena)
+	}
+}
+
+// merge concatenates the per-worker accumulators by destination and
+// canonicalizes each relation (offset sort + dedupe). Workers have all
+// exited when merge runs, so no synchronization is needed.
+func (x *executor) merge() []*span.Relation {
+	out := make([]*span.Relation, x.ndest)
+	for d := range out {
+		total := 0
+		for w := range x.accs {
+			if r := x.accs[w].rels[d]; r != nil {
+				total += len(r.Tuples)
+			}
+		}
+		m := span.NewRelation(x.ps.Vars...)
+		m.Tuples = make([]span.Tuple, 0, total)
+		for w := range x.accs {
+			if r := x.accs[w].rels[d]; r != nil {
+				m.Tuples = append(m.Tuples, r.Tuples...)
+			}
+		}
+		m.Dedupe()
+		out[d] = m
+	}
+	return out
+}
+
+// chunked cuts segs into grain-sized chunks for dest. grain must be
+// positive.
+func chunked(dest int, segs []Segment, grain int, into []chunk) []chunk {
+	for lo := 0; lo < len(segs); lo += grain {
+		hi := lo + grain
+		if hi > len(segs) {
+			hi = len(segs)
+		}
+		into = append(into, chunk{dest: dest, segs: segs[lo:hi]})
+	}
+	return into
+}

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -54,8 +55,10 @@ var fuzzPairs = sync.OnceValue(func() []fuzzPair {
 // FuzzSplitEvalVsSequential feeds arbitrary documents through the
 // split-then-distribute pipeline on known split-correct (P, S) pairs and
 // asserts the shifted union over segments equals direct evaluation — the
-// paper's defining equation P = P ∘ S, checked end to end through the new
-// evaluation core, the splitter, and the worker pool.
+// paper's defining equation P = P ∘ S, checked end to end through the
+// evaluation core, the splitter, and the work-stealing executor, on both
+// the dealt-slice path (SplitEval at several worker counts and grains)
+// and the channel-fed streaming path (SplitEvalBatches).
 func FuzzSplitEvalVsSequential(f *testing.F) {
 	f.Add("bad coffee. nice tea! aaaa b aaaa")
 	f.Add("")
@@ -71,11 +74,49 @@ func FuzzSplitEvalVsSequential(f *testing.F) {
 				d = pair.remap(d)
 			}
 			segs := SegmentsOf(d, pair.s.Split(d))
-			got := SplitEval(pair.p, segs, 3)
 			want := Sequential(pair.p, d)
 			want.Dedupe()
-			if !got.Equal(want) {
-				t.Fatalf("%s: split evaluation differs on %q\nsplit: %v\nseq:   %v", pair.name, d, got, want)
+			// Dealt-slice path: worker counts and grains chosen so single
+			// worker, per-segment chunks and multi-segment chunks (and the
+			// steals between them) all agree.
+			for _, opts := range []Options{{Workers: 1}, {Workers: 3, Batch: 1}, {Workers: 4, Batch: 3}} {
+				got, err := SplitEvalCtx(context.Background(), pair.p, segs, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("%s (workers=%d batch=%d): split evaluation differs on %q\nsplit: %v\nseq:   %v",
+						pair.name, opts.Workers, opts.Batch, d, got, want)
+				}
+			}
+			// Streaming path: uneven batches through the channel feed, and
+			// one oversized batch that the receiving worker must split onto
+			// its deque for the others to steal.
+			for _, whole := range []bool{false, true} {
+				batches := make(chan []Segment, 1)
+				go func() {
+					defer close(batches)
+					if whole {
+						batches <- segs
+						return
+					}
+					for lo := 0; lo < len(segs); {
+						hi := lo + 1 + lo%3
+						if hi > len(segs) {
+							hi = len(segs)
+						}
+						batches <- segs[lo:hi]
+						lo = hi
+					}
+				}()
+				got, err := SplitEvalBatches(context.Background(), pair.p, batches, 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("%s (streamed, whole=%v): split evaluation differs on %q\nsplit: %v\nseq:   %v",
+						pair.name, whole, d, got, want)
+				}
 			}
 		}
 	})

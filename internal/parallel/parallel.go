@@ -3,8 +3,13 @@
 // split-correct for a splitter, it can be evaluated on the splitter's
 // segments in parallel (or the segments can be scheduled as many small
 // tasks), and the shifted union of the results equals the direct
-// evaluation. The engine is a fixed worker pool over a segment channel,
-// in the style of Effective Go's parallelization idiom.
+// evaluation. The engine is a work-stealing executor (executor.go):
+// segments are dealt in chunks to per-worker deques, idle workers steal
+// from the back of busy ones, and every worker accumulates shifted
+// result tuples into its own arena-backed relation, merged and
+// offset-sorted once at the end. Results are therefore deterministic —
+// byte-identical across worker counts and steal schedules — and no
+// relation is allocated per segment or per batch.
 package parallel
 
 import (
@@ -13,14 +18,14 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/span"
 	"repro/internal/vsa"
 )
 
-// Sequential evaluates p directly on the document.
+// Sequential evaluates p directly on the document — the baseline the
+// split evaluators are measured against and fuzz-checked to agree with.
 func Sequential(p *vsa.Automaton, doc string) *span.Relation {
 	return p.Eval(doc)
 }
@@ -28,7 +33,10 @@ func Sequential(p *vsa.Automaton, doc string) *span.Relation {
 // Segment is a unit of split work: a span of the original document (or of
 // the virtual concatenation of a collection) and its text.
 type Segment struct {
+	// Span locates Text in the enclosing document; result tuples of the
+	// segment are shifted by it into document coordinates.
 	Span span.Span
+	// Text is the segment's content, Span.In(document).
 	Text string
 }
 
@@ -41,14 +49,17 @@ func SegmentsOf(doc string, spans []span.Span) []Segment {
 	return out
 }
 
-// Options configures the context-aware split evaluators.
+// Options configures the context-aware split evaluators. The zero value
+// selects GOMAXPROCS workers and an adaptive scheduling grain.
 type Options struct {
-	// Workers is the size of the worker pool; ≤ 0 means
-	// runtime.GOMAXPROCS(0).
+	// Workers is the number of evaluation goroutines; ≤ 0 means
+	// runtime.GOMAXPROCS(0). The result does not depend on it.
 	Workers int
-	// Batch is the number of segments grouped into one dispatched task,
-	// amortizing scheduling overhead on segment-heavy splitters
-	// (N-grams, tokens); ≤ 0 means 1 (one segment per task).
+	// Batch is the scheduling grain: the number of segments grouped into
+	// one work-stealing chunk. Larger grains amortize scheduling on
+	// segment-heavy splitters (N-grams, tokens); smaller grains steal
+	// more finely. ≤ 0 selects an adaptive grain of roughly 32 chunks
+	// per worker. The result does not depend on it.
 	Batch int
 }
 
@@ -59,206 +70,149 @@ func (o Options) workers() int {
 	return o.Workers
 }
 
-func (o Options) batch() int {
-	if o.Batch <= 0 {
-		return 1
+// grain resolves the chunk size for n segments: an explicit Batch wins;
+// otherwise aim for ~32 chunks per worker, which keeps per-chunk
+// scheduling cost (one mutex acquisition) negligible while leaving
+// plenty of chunks to steal when match density is skewed.
+func (o Options) grain(n int) int {
+	if o.Batch > 0 {
+		return o.Batch
 	}
-	return o.Batch
+	g := n / (o.workers() * 32)
+	if g < 1 {
+		g = 1
+	}
+	if g > 1024 {
+		g = 1024
+	}
+	return g
 }
+
+// streamGrain is the chunk-splitting grain of the channel-fed
+// evaluators: a chunk arriving with more segments than this is halved
+// onto the receiving worker's deque (where peers can steal it) until it
+// fits. It matches the engine's default dispatch batch, so at that
+// default engine traffic is never re-split; re-splitting a larger
+// configured batch is harmless (the halves stay on, or near, the
+// receiving worker).
+const streamGrain = 16
 
 // SplitEval evaluates ps on every segment using the given number of
 // workers and returns the shifted, deduplicated union — the spanner
 // (P_S ∘ S)(d) when the segments come from S. workers ≤ 0 means
-// runtime.GOMAXPROCS(0).
+// runtime.GOMAXPROCS(0). The result is sorted and deduplicated, and is
+// byte-identical for every worker count (determinism does not depend on
+// the steal schedule).
 func SplitEval(ps *vsa.Automaton, segments []Segment, workers int) *span.Relation {
 	rel, _ := SplitEvalCtx(context.Background(), ps, segments, Options{Workers: workers})
 	return rel
 }
 
-// SplitEvalCtx is SplitEval with cancellation and batching: it stops
-// dispatching segments as soon as ctx is cancelled and returns ctx's
-// error together with whatever partial relation had been merged. With a
-// never-cancelled context the result equals SplitEval's.
+// SplitEvalCtx is SplitEval with cancellation and an explicit grain: the
+// segment chunks are dealt to the worker deques up front, workers stop
+// between segments as soon as ctx is cancelled, and ctx's error is
+// returned together with whatever partial relation the workers had
+// accumulated (still sorted and deduplicated). With a never-cancelled
+// context the result equals SplitEval's.
 func SplitEvalCtx(ctx context.Context, ps *vsa.Automaton, segments []Segment, opts Options) (*span.Relation, error) {
-	batch := opts.batch()
-	batches := make(chan []Segment, opts.workers())
-	go func() {
-		defer close(batches)
-		for lo := 0; lo < len(segments); lo += batch {
-			hi := lo + batch
-			if hi > len(segments) {
-				hi = len(segments)
-			}
-			select {
-			case batches <- segments[lo:hi]:
-			case <-ctx.Done():
-				return
-			}
-		}
-	}()
-	return SplitEvalBatches(ctx, ps, batches, opts.Workers)
+	grain := opts.grain(len(segments))
+	x := newExecutor(ctx, ps, opts.workers(), 1, grain, nil)
+	x.deal(chunked(0, segments, grain, nil))
+	rels := x.run()
+	return rels[0], ctx.Err()
 }
 
 // SplitEvalBatches evaluates ps on batches of segments arriving on a
 // channel — the streaming form used by the extraction engine, where the
 // splitter discovers segments incrementally while earlier segments are
-// already being evaluated. The bounded worker pool gives natural
-// backpressure: when all workers are busy, sends into batches block. The
-// merged relation is deduplicated and sorted, so the result is
-// deterministic regardless of arrival order. On cancellation the workers
-// drain nothing further and ctx's error is returned with the partial
-// result.
+// already being evaluated. Idle workers block on the channel, so its
+// capacity bounds the queued work and sends into batches block once the
+// pool is saturated — the backpressure the serving daemon relies on to
+// throttle ingestion. A received batch larger than the engine's dispatch
+// grain is split onto the receiving worker's deque, where the other
+// workers steal it. The merged relation is deduplicated and sorted, so
+// the result is deterministic regardless of arrival order and steal
+// schedule. On cancellation the workers drain nothing further and ctx's
+// error is returned with the partial result.
 func SplitEvalBatches(ctx context.Context, ps *vsa.Automaton, batches <-chan []Segment, workers int) (*span.Relation, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	// Build the shared evaluation caches (compiled program, forward and
-	// reversed match-window DFAs) once before fan-out instead of having
-	// every worker block on the same construction locks at first eval.
-	ps.Prepare()
-	results := make(chan *span.Relation, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				var batch []Segment
-				var ok bool
-				select {
-				case batch, ok = <-batches:
-					if !ok {
-						return
-					}
-				case <-ctx.Done():
-					// Also unblocks workers whose producer is stalled
-					// (e.g. a hung reader that will never close batches).
-					return
-				}
-				rel := span.NewRelation(ps.Vars...)
-				for _, seg := range batch {
-					if ctx.Err() != nil {
-						return
-					}
-					sub := ps.Eval(seg.Text).ShiftAll(seg.Span)
-					rel.Tuples = append(rel.Tuples, sub.Tuples...)
-				}
-				select {
-				case results <- rel:
-				case <-ctx.Done():
-					return
-				}
+	recv := func(ctx context.Context) (chunk, bool) {
+		select {
+		case b, ok := <-batches:
+			if !ok {
+				return chunk{}, false
 			}
-		}()
+			return chunk{dest: 0, segs: b}, true
+		case <-ctx.Done():
+			// Also unblocks workers whose producer is stalled (e.g. a
+			// hung reader that will never close batches).
+			return chunk{}, false
+		}
 	}
-	go func() {
-		wg.Wait()
-		close(results)
-	}()
-	out := span.NewRelation(ps.Vars...)
-	for rel := range results {
-		out.Tuples = append(out.Tuples, rel.Tuples...)
-	}
-	out.Dedupe()
-	return out, ctx.Err()
+	x := newExecutor(ctx, ps, workers, 1, streamGrain, recv)
+	rels := x.run()
+	return rels[0], ctx.Err()
 }
 
 // CollectionEval evaluates p on every document of a pre-split collection
 // (the Spark scenario of Section 1) with the given number of workers and
-// returns one relation per document, in order.
+// returns one relation per document, in order. Documents are dealt to
+// the worker deques whole; work stealing keeps the pool busy when long
+// documents cluster on one worker. Each returned relation is sorted and
+// deduplicated, identical to p.Eval on that document.
 func CollectionEval(p *vsa.Automaton, docsIn []string, workers int) []*span.Relation {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	p.Prepare() // warm the shared evaluation caches before fan-out
-	out := make([]*span.Relation, len(docsIn))
-	jobs := make(chan int, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				out[i] = p.Eval(docsIn[i])
-			}
-		}()
+	x := newExecutor(context.Background(), p, workers, len(docsIn), 0, nil)
+	chunks := make([]chunk, len(docsIn))
+	for i, d := range docsIn {
+		chunks[i] = chunk{dest: i, segs: []Segment{{Span: span.Span{Start: 1, End: len(d) + 1}, Text: d}}}
 	}
-	for i := range docsIn {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	return out
+	x.deal(chunks)
+	return x.run()
 }
 
 // CollectionEvalSplit evaluates a split-correct plan over a collection:
 // each document is pre-split with splitFn and the segments of all
 // documents form the task pool — the paper's observation that splitting
 // helps even when the input is already a collection, by giving the
-// scheduler many small tasks. Results are per-document relations.
-// Segments are produced by a goroutine that splits documents on demand and
-// feeds the bounded task channel, so memory stays O(workers) tasks plus
-// one document's spans regardless of collection size, instead of
-// materializing every segment of every document up-front.
+// scheduler many small tasks. Results are per-document relations, each
+// sorted and deduplicated. A producer goroutine splits documents on
+// demand and feeds the bounded channel the idle workers block on, so
+// memory stays O(workers) documents' segments regardless of collection
+// size; a long document's chunk is split across the deques by work
+// stealing instead of serializing on one worker.
 func CollectionEvalSplit(ps *vsa.Automaton, docsIn []string, splitFn func(string) []span.Span, workers int) []*span.Relation {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	ps.Prepare() // warm the shared evaluation caches before fan-out
-	type task struct {
-		doc int
-		seg Segment
-	}
-	type result struct {
-		doc int
-		rel *span.Relation
-	}
-	jobs := make(chan task, workers)
-	results := make(chan result, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range jobs {
-				results <- result{t.doc, ps.Eval(t.seg.Text).ShiftAll(t.seg.Span)}
-			}
-		}()
-	}
+	feed := make(chan chunk, workers)
 	go func() {
-		// Producer: split one document at a time; the bounded jobs channel
-		// throttles splitting to the pool's consumption rate.
+		// Producer: split one document at a time; the bounded feed
+		// channel throttles splitting to the pool's consumption rate.
+		defer close(feed)
 		for i, d := range docsIn {
-			for _, sp := range splitFn(d) {
-				jobs <- task{i, Segment{sp, sp.In(d)}}
-			}
+			feed <- chunk{dest: i, segs: SegmentsOf(d, splitFn(d))}
 		}
-		close(jobs)
 	}()
-	go func() {
-		wg.Wait()
-		close(results)
-	}()
-	out := make([]*span.Relation, len(docsIn))
-	for i := range out {
-		out[i] = span.NewRelation(ps.Vars...)
+	recv := func(ctx context.Context) (chunk, bool) {
+		c, ok := <-feed
+		return c, ok
 	}
-	for r := range results {
-		out[r.doc].Tuples = append(out[r.doc].Tuples, r.rel.Tuples...)
-	}
-	for _, rel := range out {
-		rel.Dedupe()
-	}
-	return out
+	x := newExecutor(context.Background(), ps, workers, len(docsIn), streamGrain, recv)
+	return x.run()
 }
 
 // Measurement is one timed run of an experiment configuration.
 type Measurement struct {
-	Name       string
-	Sequential time.Duration
-	Split      time.Duration
-	Speedup    float64
-	Tuples     int
+	Name       string        // experiment label, echoed in errors
+	Sequential time.Duration // direct (or whole-document) evaluation time
+	Split      time.Duration // split-then-distribute evaluation time
+	Speedup    float64       // Sequential / Split
+	Tuples     int           // result size, summed over documents
 }
 
 // ErrSplitMismatch is returned by Measure and MeasureCollection when split

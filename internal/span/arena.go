@@ -1,0 +1,39 @@
+package span
+
+// TupleArena carves Tuples out of large shared slabs, so that a worker
+// accumulating many small tuples (the split-evaluation executor appends
+// one per extraction result) performs one slab allocation per few
+// thousand spans instead of one allocation per tuple. The zero value is
+// ready to use.
+//
+// Tuples returned by Tuple remain valid for the lifetime of the arena's
+// slabs; the garbage collector keeps a slab alive as long as any tuple
+// carved from it is reachable, so an arena can be dropped as soon as its
+// tuples have been handed off (e.g. appended to a Relation).
+//
+// A TupleArena is not safe for concurrent use; give each worker its own.
+type TupleArena struct {
+	slab []Span
+}
+
+// tupleArenaSlab is the slab size in spans; at 16 bytes per Span one
+// slab is 64 KiB — big enough to amortize allocation, small enough not
+// to strand memory on workers that see few results.
+const tupleArenaSlab = 4096
+
+// Tuple returns a zeroed n-span tuple carved from the current slab,
+// starting a fresh slab when fewer than n spans remain. The returned
+// slice has capacity exactly n, so appending to it never overwrites a
+// neighboring tuple.
+func (a *TupleArena) Tuple(n int) Tuple {
+	if cap(a.slab)-len(a.slab) < n {
+		size := tupleArenaSlab
+		if size < n {
+			size = n
+		}
+		a.slab = make([]Span, 0, size)
+	}
+	lo := len(a.slab)
+	a.slab = a.slab[:lo+n]
+	return Tuple(a.slab[lo : lo+n : lo+n])
+}

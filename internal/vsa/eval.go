@@ -161,8 +161,33 @@ func (a *Automaton) computeSuffixUniversality() []bool {
 // EvalReference retains the map-based simulation all of this replaced;
 // fuzzing asserts the two agree.
 func (a *Automaton) Eval(doc string) *span.Relation {
-	p := a.prog()
 	rel := span.NewRelation(a.Vars...)
+	a.EvalAppend(doc, span.Span{Start: 1, End: len(doc) + 1}, rel, nil)
+	rel.Dedupe()
+	return rel
+}
+
+// EvalAppend is the accumulator form of Eval used by the work-stealing
+// split-evaluation executor: it evaluates a on doc — the same localized,
+// compiled-core pipeline as Eval — and appends every result tuple,
+// shifted by the span `by` (interpreting doc as the substring of an
+// enclosing document that `by` selects, exactly Relation.ShiftAll's
+// convention; pass [1, len(doc)+1⟩ for no shift), to rel. Tuple storage
+// is carved from arena when it is non-nil, so a worker evaluating many
+// segments into one per-worker accumulator performs no per-segment
+// relation or per-tuple allocation.
+//
+// rel must have been created over a.Vars. Duplicate tuples arising
+// within this one evaluation are suppressed, but rel is NOT deduplicated
+// or sorted against tuples appended by earlier calls — callers that
+// merge several segments must Dedupe once at the end, which also
+// restores the canonical order Eval guarantees.
+func (a *Automaton) EvalAppend(doc string, by span.Span, rel *span.Relation, arena *span.TupleArena) {
+	if len(rel.Vars) != len(a.Vars) {
+		panic("vsa: EvalAppend relation arity does not match automaton arity")
+	}
+	p := a.prog()
+	delta := by.Start - 1
 	if loc := a.localizer(); loc.ok {
 		ws := windowPool.Get().(*windowScratch)
 		defer windowPool.Put(ws)
@@ -170,30 +195,27 @@ func (a *Automaton) Eval(doc string) *span.Relation {
 			if len(ws.ends) == 0 && !ws.finalsAtEnd {
 				// No boundary where a match can complete: ⟦a⟧(d) = ∅,
 				// and the simulation machinery was never touched.
-				return rel
+				return
 			}
 			if loc.narrow(p, doc, ws) {
-				run := newEvalRun(a, p, rel, doc)
+				run := newEvalRun(a, p, rel, doc, delta, arena)
 				defer run.release()
 				for _, w := range ws.windows {
 					seed := loc.seedAt(p, doc, w.lo, ws)
 					run.window(w.lo, w.hi, seed, w.hi == len(doc))
 				}
-				rel.Dedupe()
-				return rel
+				return
 			}
 		}
 	}
 	// Fallback: ⟦a⟧(d) = ∅ iff no accepting run exists; the DFA decides
 	// that without touching the assignment machinery.
 	if !a.EvalBool(doc) {
-		return rel
+		return
 	}
-	run := newEvalRun(a, p, rel, doc)
+	run := newEvalRun(a, p, rel, doc, delta, arena)
 	defer run.release()
 	run.window(0, len(doc), nil, true)
-	rel.Dedupe()
-	return rel
 }
 
 // evalRun bundles the per-evaluation state shared by every window of one
@@ -205,11 +227,15 @@ type evalRun struct {
 	p      *evalProg
 	sc     *evalScratch
 	rel    *span.Relation
+	arena  *span.TupleArena // nil: tuples are individually allocated
 	doc    string
 	stride int
+	delta  int // added to every emitted position (EvalAppend's shift)
 }
 
-func newEvalRun(a *Automaton, p *evalProg, rel *span.Relation, doc string) *evalRun {
+// newEvalRun returns the run by value so that the per-segment hot path
+// (EvalAppend on thousands of small segments) keeps it on the stack.
+func newEvalRun(a *Automaton, p *evalProg, rel *span.Relation, doc string, delta int, arena *span.TupleArena) evalRun {
 	sc := scratchPool.Get().(*evalScratch)
 	stride := 2 * p.nv
 	if cap(sc.tmp) < stride {
@@ -229,7 +255,7 @@ func newEvalRun(a *Automaton, p *evalProg, rel *span.Relation, doc string) *eval
 	if cap(sc.emitBuf) < 4*stride {
 		sc.emitBuf = make([]byte, 4*stride)
 	}
-	return &evalRun{a: a, p: p, sc: sc, rel: rel, doc: doc, stride: stride}
+	return evalRun{a: a, p: p, sc: sc, rel: rel, arena: arena, doc: doc, stride: stride, delta: delta}
 }
 
 func (r *evalRun) release() { scratchPool.Put(r.sc) }
@@ -248,9 +274,14 @@ func (r *evalRun) emit(pt []int32) {
 	}
 	r.sc.seen[k] = true
 	nv := r.p.nv
-	t := make(span.Tuple, nv)
+	var t span.Tuple
+	if r.arena != nil {
+		t = r.arena.Tuple(nv)
+	} else {
+		t = make(span.Tuple, nv)
+	}
 	for v := 0; v < nv; v++ {
-		t[v] = span.Span{Start: int(pt[2*v]), End: int(pt[2*v+1])}
+		t[v] = span.Span{Start: int(pt[2*v]) + r.delta, End: int(pt[2*v+1]) + r.delta}
 	}
 	r.rel.Tuples = append(r.rel.Tuples, t)
 }

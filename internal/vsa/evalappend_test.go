@@ -1,0 +1,69 @@
+package vsa_test
+
+import (
+	"testing"
+
+	"repro/internal/regexformula"
+	"repro/internal/span"
+)
+
+// TestEvalAppendMatchesEvalShiftAll checks the accumulator form against
+// the composition it replaces on the split-evaluation hot path:
+// EvalAppend(doc, by, rel, arena) must append exactly
+// Eval(doc).ShiftAll(by)'s tuples, for segments at different offsets,
+// with and without an arena, accumulating across calls.
+func TestEvalAppendMatchesEvalShiftAll(t *testing.T) {
+	p := regexformula.MustCompile(".*[ .]y{bad ([a-z]+)}[ .].*|y{bad ([a-z]+)}[ .].*")
+	whole := "bad tea. some filler text. bad coffee here. nothing. bad x."
+	segments := []span.Span{
+		span.FromByteOffsets(0, 8),
+		span.FromByteOffsets(9, 26),
+		span.FromByteOffsets(27, 44),
+		span.FromByteOffsets(45, len(whole)),
+	}
+	for _, useArena := range []bool{false, true} {
+		var arena *span.TupleArena
+		if useArena {
+			arena = new(span.TupleArena)
+		}
+		acc := span.NewRelation(p.Vars...)
+		want := span.NewRelation(p.Vars...)
+		for _, by := range segments {
+			seg := by.In(whole)
+			p.EvalAppend(seg, by, acc, arena)
+			sub := p.Eval(seg).ShiftAll(by)
+			want.Tuples = append(want.Tuples, sub.Tuples...)
+		}
+		acc.Dedupe()
+		want.Dedupe()
+		if !acc.Equal(want) {
+			t.Fatalf("arena=%v: EvalAppend accumulation differs:\ngot:  %v\nwant: %v", useArena, acc, want)
+		}
+		if acc.Len() == 0 {
+			t.Fatal("expected extractions from the segmented document")
+		}
+	}
+}
+
+// TestEvalAppendIdentityShiftEqualsEval pins the wrapper relationship:
+// Eval is EvalAppend with the identity shift plus Dedupe.
+func TestEvalAppendIdentityShiftEqualsEval(t *testing.T) {
+	p := regexformula.MustCompile(".*y{a+}b.*")
+	doc := "xxaaabyyaab"
+	rel := span.NewRelation(p.Vars...)
+	p.EvalAppend(doc, span.Span{Start: 1, End: len(doc) + 1}, rel, nil)
+	rel.Dedupe()
+	if want := p.Eval(doc); !rel.Equal(want) {
+		t.Fatalf("identity EvalAppend %v differs from Eval %v", rel, want)
+	}
+}
+
+func TestEvalAppendArityMismatchPanics(t *testing.T) {
+	p := regexformula.MustCompile(".*y{a}.*")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on relation arity mismatch")
+		}
+	}()
+	p.EvalAppend("a", span.Span{Start: 1, End: 2}, span.NewRelation("x", "y"), nil)
+}
