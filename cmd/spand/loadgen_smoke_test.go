@@ -1,0 +1,65 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/loadgen"
+)
+
+// TestSpanloadSmoke runs the spanload harness against an in-process
+// daemon for a couple of seconds — the CI smoke that keeps the load
+// path working: the CONCURRENCY snapshot must come back with the
+// declared schema, no failed requests, and non-zero throughput and
+// latency percentiles.
+func TestSpanloadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load smoke skipped in -short")
+	}
+	eng := engine.New(engine.Config{Workers: 4})
+	ts := httptest.NewServer(newServer(eng))
+	defer ts.Close()
+
+	snap := loadgen.RunSweep(loadgen.Config{
+		Target:   ts.URL,
+		Duration: time.Second,
+		Client:   ts.Client(),
+	}, []int{2, 8})
+
+	if snap.Experiment != "CONCURRENCY" {
+		t.Fatalf("experiment = %q, want CONCURRENCY", snap.Experiment)
+	}
+	if snap.GoVersion == "" || snap.NumCPU <= 0 || snap.Target != ts.URL {
+		t.Fatalf("snapshot header incomplete: %+v", snap)
+	}
+	if len(snap.Results) != 2 {
+		t.Fatalf("results = %d rows, want 2", len(snap.Results))
+	}
+	for i, want := range []int{2, 8} {
+		r := snap.Results[i]
+		if r.Connections != want {
+			t.Fatalf("row %d connections = %d, want %d", i, r.Connections, want)
+		}
+		if r.Errors != 0 {
+			t.Fatalf("row %d: %d of %d requests failed", i, r.Errors, r.Requests)
+		}
+		if r.Requests == 0 || r.ReqPerS <= 0 || r.MBPerS <= 0 {
+			t.Fatalf("row %d throughput empty: %+v", i, r)
+		}
+		if r.P50MS <= 0 || r.P90MS < r.P50MS || r.P99MS < r.P90MS {
+			t.Fatalf("row %d percentiles not ordered: %+v", i, r)
+		}
+	}
+
+	// The mixed workload must actually have mixed: hits and misses in
+	// the plan cache, streamed and buffered ingestion.
+	st := eng.Stats()
+	if st.PlanCache.Hits == 0 || st.PlanCache.Misses < 2 {
+		t.Fatalf("plan cache %+v: workload did not mix hits and misses", st.PlanCache)
+	}
+	if st.StreamedDocs == 0 || st.StreamedDocs == st.Documents {
+		t.Fatalf("streamed %d of %d documents: workload did not mix ingestion modes", st.StreamedDocs, st.Documents)
+	}
+}

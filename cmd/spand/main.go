@@ -17,9 +17,28 @@
 //	POST /v1/check     split-correctness / self-splittability /
 //	                   disjointness / locality verdicts for a formula
 //	                   pair, served from the plan cache.
-//	GET  /v1/stats     cache hit rate, throughput (including how many
-//	                   documents streamed vs buffered), pool
-//	                   configuration and the force-stream flag.
+//	GET  /v1/stats     one consistent JSON snapshot: throughput counters
+//	                   (documents total and streamed incrementally,
+//	                   bytes, segments), cache hit rate, pool
+//	                   configuration and the force-stream flag, the
+//	                   pipeline-stage time breakdown (plan / segment /
+//	                   eval shares with p50/p90/p99, plus the nested
+//	                   merge / localize / sim stages), work-stealing
+//	                   executor statistics, and per-endpoint request
+//	                   counts, error counts and latency percentiles with
+//	                   the current in-flight gauge.
+//	GET  /metrics      the same instrumentation in the Prometheus text
+//	                   exposition format, for scraping.
+//
+// A successful extraction responds with the plan section — strategy,
+// verdicts, cache_hit, plan_compile_ms — plus ingest ("inline",
+// "streamed" or "buffered"), vars, count and the tuples as arrays of
+// 1-based [start, end) spans:
+//
+//	{"strategy":"split-parallel",
+//	 "verdicts":{"disjoint":"yes","self_splittable":"yes","local":"yes"},
+//	 "cache_hit":false, "plan_compile_ms":1.234, "ingest":"inline",
+//	 "vars":["y"], "count":2, "tuples":[[[6,21]],[[26,34]]]}
 //
 // Example:
 //

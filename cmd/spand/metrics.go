@@ -1,0 +1,103 @@
+package main
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// endpoints instrumented with per-endpoint counters and latency
+// histograms. /metrics itself is deliberately not measured: scrapes
+// should not perturb the serving statistics they read.
+var endpoints = []string{"/v1/extract", "/v1/check", "/v1/stats"}
+
+// httpMetrics is the daemon's HTTP-level instrumentation: request and
+// error counts plus a latency histogram per endpoint, and one global
+// in-flight gauge. It registers its series into the engine's registry,
+// so GET /metrics renders the full stack — HTTP, engine stages,
+// executor, evaluation core — from one place.
+type httpMetrics struct {
+	inFlight obs.Gauge
+	requests map[string]*obs.Counter
+	errors   map[string]*obs.Counter
+	latency  map[string]*obs.Histogram
+}
+
+func newHTTPMetrics(r *obs.Registry) *httpMetrics {
+	m := &httpMetrics{
+		requests: make(map[string]*obs.Counter, len(endpoints)),
+		errors:   make(map[string]*obs.Counter, len(endpoints)),
+		latency:  make(map[string]*obs.Histogram, len(endpoints)),
+	}
+	r.BindGauge("spand_http_in_flight", "requests currently being served", &m.inFlight)
+	for _, ep := range endpoints {
+		label := `{endpoint="` + ep + `"}`
+		m.requests[ep] = r.Counter("spand_http_requests_total"+label, "HTTP requests served")
+		m.errors[ep] = r.Counter("spand_http_errors_total"+label, "HTTP requests answered with status >= 400")
+		h := &obs.Histogram{}
+		r.BindDurationHistogram("spand_http_request_seconds"+label, "HTTP request latency", h)
+		m.latency[ep] = h
+	}
+	return m
+}
+
+// statusWriter captures the response status so errors can be counted.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// wrap instruments a handler for one endpoint: in-flight gauge around
+// the call, a latency observation and an error count after it.
+func (m *httpMetrics) wrap(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	reqs, errs, lat := m.requests[endpoint], m.errors[endpoint], m.latency[endpoint]
+	return func(w http.ResponseWriter, r *http.Request) {
+		m.inFlight.Inc()
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		lat.RecordDuration(time.Since(t0))
+		reqs.Inc()
+		if sw.status >= 400 {
+			errs.Inc()
+		}
+		m.inFlight.Dec()
+	}
+}
+
+// endpointStats is the /v1/stats view of one instrumented endpoint.
+type endpointStats struct {
+	Count  uint64  `json:"count"`
+	Errors uint64  `json:"errors"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	P999MS float64 `json:"p999_ms"`
+}
+
+// snapshot renders every endpoint's statistics from one histogram
+// snapshot each.
+func (m *httpMetrics) snapshot() map[string]endpointStats {
+	const msPerNS = 1e-6
+	out := make(map[string]endpointStats, len(endpoints))
+	for _, ep := range endpoints {
+		s := m.latency[ep].Snapshot()
+		out[ep] = endpointStats{
+			Count:  m.requests[ep].Load(),
+			Errors: m.errors[ep].Load(),
+			MeanMS: s.Mean() * msPerNS,
+			P50MS:  s.Quantile(0.50) * msPerNS,
+			P90MS:  s.Quantile(0.90) * msPerNS,
+			P99MS:  s.Quantile(0.99) * msPerNS,
+			P999MS: s.Quantile(0.999) * msPerNS,
+		}
+	}
+	return out
+}

@@ -79,15 +79,19 @@ func tuplesJSON(rel *span.Relation) [][]jsonSpan {
 
 type server struct {
 	eng *engine.Engine
+	m   *httpMetrics
 }
 
-// newServer wires the daemon's routes onto a fresh mux.
+// newServer wires the daemon's routes onto a fresh mux. HTTP-level
+// metrics live in the engine's registry, so GET /metrics exposes the
+// whole stack's series on one page.
 func newServer(eng *engine.Engine) http.Handler {
-	s := &server{eng: eng}
+	s := &server{eng: eng, m: newHTTPMetrics(eng.Registry())}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/extract", s.handleExtract)
-	mux.HandleFunc("POST /v1/check", s.handleCheck)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/extract", s.m.wrap("/v1/extract", s.handleExtract))
+	mux.HandleFunc("POST /v1/check", s.m.wrap("/v1/check", s.handleCheck))
+	mux.HandleFunc("GET /v1/stats", s.m.wrap("/v1/stats", s.handleStats))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 
@@ -257,9 +261,33 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, planSection(plan, hit))
 }
 
+// statsResponse is the GET /v1/stats body: the engine's snapshot
+// (counters, per-stage time shares, executor and localizer statistics)
+// plus the daemon's HTTP-level view — requests in flight and
+// per-endpoint latency percentiles. Everything is read in one pass, so
+// one response is one consistent snapshot.
+type statsResponse struct {
+	engine.Stats
+	InFlight  int64                    `json:"in_flight"`
+	Endpoints map[string]endpointStats `json:"endpoints"`
+}
+
 // handleStats serves GET /v1/stats: cache hit rate, throughput counters
-// (documents total and streamed incrementally), worker configuration
-// and whether the unsafe -stream-incremental override is active.
+// (documents total and streamed incrementally), worker configuration,
+// whether the unsafe -stream-incremental override is active, the
+// pipeline-stage time breakdown and per-endpoint latency percentiles.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.eng.Stats())
+	writeJSON(w, http.StatusOK, statsResponse{
+		Stats:     s.eng.Stats(),
+		InFlight:  s.m.inFlight.Load(),
+		Endpoints: s.m.snapshot(),
+	})
+}
+
+// handleMetrics serves GET /metrics in the Prometheus text exposition
+// format: every series of the engine's registry — HTTP, engine stages,
+// plan cache, executor, evaluation core.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.eng.Registry().WritePrometheus(w)
 }

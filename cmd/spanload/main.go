@@ -1,0 +1,73 @@
+// Command spanload drives concurrent load against a running spand
+// daemon and reports client-side throughput and latency percentiles per
+// connection count — the CONCURRENCY experiment. The workload is mixed
+// on purpose: plan-cache hits (one hot split-parallel plan) and misses
+// (unique formulas that pay compilation inline), small and large
+// documents, inline JSON and streamed raw bodies.
+//
+// Example — sweep 1, 4 and 16 connections for 5 s each and write the
+// snapshot:
+//
+//	spand -addr :8080 &
+//	spanload -target http://127.0.0.1:8080 -conns 1,4,16 -dur 5s -json BENCH_PR6.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+func main() {
+	var (
+		target    = flag.String("target", "http://127.0.0.1:8080", "base URL of the spand daemon")
+		connsFlag = flag.String("conns", "1,4,16", "comma-separated connection counts to sweep")
+		dur       = flag.Duration("dur", 5*time.Second, "duration of each connection-count run")
+		missEvery = flag.Int("miss-every", 8, "one plan-cache-missing formula per N requests (negative disables)")
+		seed      = flag.Uint64("seed", 0, "workload mix seed (0 = fixed default)")
+		jsonOut   = flag.String("json", "", "write the CONCURRENCY snapshot to this file")
+	)
+	flag.Parse()
+
+	var conns []int
+	for _, f := range strings.Split(*connsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			log.Fatalf("spanload: bad -conns entry %q", f)
+		}
+		conns = append(conns, n)
+	}
+
+	cfg := loadgen.Config{Target: *target, Duration: *dur, MissEvery: *missEvery, Seed: *seed}
+	snap := loadgen.RunSweep(cfg, conns)
+
+	fmt.Printf("%-6s %10s %8s %10s %10s %9s %9s %9s\n",
+		"conns", "requests", "errors", "req/s", "MB/s", "p50 ms", "p90 ms", "p99 ms")
+	for _, r := range snap.Results {
+		fmt.Printf("%-6d %10d %8d %10.1f %10.2f %9.2f %9.2f %9.2f\n",
+			r.Connections, r.Requests, r.Errors, r.ReqPerS, r.MBPerS, r.P50MS, r.P90MS, r.P99MS)
+	}
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			log.Fatalf("spanload: %v", err)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("spanload: %v", err)
+		}
+		log.Printf("spanload: wrote %s", *jsonOut)
+	}
+	for _, r := range snap.Results {
+		if r.Errors > 0 {
+			os.Exit(1)
+		}
+	}
+}

@@ -48,7 +48,12 @@ var (
 	workers  = flag.Int("workers", 5, "worker count (the paper uses 5 cores/nodes)")
 	seed     = flag.Uint64("seed", 1, "corpus seed")
 	jsonPath = flag.String("json", "", "write the EVAL/SPLIT throughput snapshot to this file")
+	obsFlag  = flag.Bool("obs", false, "include the engine's observability snapshot (stage time shares, executor and localizer statistics) alongside the timings")
 )
+
+// lastEngineStats is the observability snapshot of the engine the most
+// recent EVAL/SPLIT run streamed through, captured when -obs is set.
+var lastEngineStats *engine.Stats
 
 func main() {
 	flag.Parse()
@@ -101,6 +106,10 @@ type perfSnapshot struct {
 	NumCPU     int          `json:"num_cpu"`
 	Workers    int          `json:"workers"`
 	Results    []perfResult `json:"results"`
+	// Obs is the engine's observability snapshot over the run's streamed
+	// datapoints — stage time shares, executor scheduling statistics,
+	// localizer effectiveness. Present only with -obs.
+	Obs *engine.Stats `json:"obs,omitempty"`
 }
 
 // evalThroughput measures the evaluation core on the standard corpora:
@@ -165,6 +174,9 @@ func writeSnapshot(experiment string, results []perfResult) {
 		NumCPU:     runtime.NumCPU(),
 		Workers:    *workers,
 		Results:    results,
+	}
+	if *obsFlag {
+		snap.Obs = lastEngineStats
 	}
 	out, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
@@ -250,10 +262,21 @@ func engineStreamingResults(dense string, measure func(op, corpusName, doc strin
 		}
 		return rel.Len()
 	}
-	return []perfResult{
+	out := []perfResult{
 		measure("SplitEvalStream", "streamed", dense, func() int { return extract(plan) }),
 		measure("SplitEvalStream", "buffered", dense, func() int { return extract(&buffered) }),
 	}
+	if *obsFlag {
+		st := eng.Stats()
+		lastEngineStats = &st
+		for _, stage := range []string{"plan", "segment", "eval", "merge", "localize", "sim"} {
+			s := st.Stages[stage]
+			fmt.Printf("obs %-9s share=%5.3f total=%8.1fms count=%d\n", stage, s.Share, s.TotalMS, s.Count)
+		}
+		fmt.Printf("obs executor  steals=%d chunks=%d busy=%.3f\n",
+			st.Executor.Steals, st.Executor.Chunks, st.Executor.BusyShare)
+	}
+	return out
 }
 
 func header(title string) {

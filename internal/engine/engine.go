@@ -32,7 +32,6 @@ import (
 	"fmt"
 	"io"
 	"runtime"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -121,28 +120,37 @@ type Stats struct {
 	Batch          int        `json:"batch"`
 	StreamForced   bool       `json:"stream_forced"`
 	PlanCache      CacheStats `json:"plan_cache"`
+	// Stages breaks request-path time down by pipeline stage — plan,
+	// segment, eval as top-level stages whose shares sum to 1, plus the
+	// nested merge/localize/sim stages as fractions of the same total
+	// (see StageStats.Share).
+	Stages map[string]StageStats `json:"stages"`
+	// Executor reports the work-stealing executor's scheduling counters.
+	Executor ExecStats `json:"executor"`
+	// Localization reports the match-window localizer's effectiveness
+	// over instrumented (large) evaluations.
+	Localization LocalizationStats `json:"localization"`
 }
 
 // Engine is a long-lived extraction engine; it is safe for concurrent
 // use.
 type Engine struct {
-	cfg      Config
-	cache    *planCache
-	start    time.Time
-	docs     atomic.Uint64
-	streamed atomic.Uint64
-	bytes    atomic.Uint64
-	segments atomic.Uint64
+	cfg   Config
+	cache *planCache
+	start time.Time
+	m     *Metrics
 }
 
 // New returns an engine with the given configuration.
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
-	return &Engine{
+	e := &Engine{
 		cfg:   cfg,
 		cache: newPlanCache(cfg.PlanCache),
 		start: time.Now(),
 	}
+	e.m = newMetrics(e)
+	return e
 }
 
 // Plan returns the compiled, verdict-annotated plan for the request,
@@ -153,8 +161,21 @@ func (e *Engine) Plan(ctx context.Context, req Request) (plan *Plan, hit bool, e
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
 	}
+	t0 := time.Now()
+	defer func() { e.m.observeStage(StagePlan, time.Since(t0)) }()
 	return e.cache.get(ctx, req.key(), func() (*Plan, error) {
-		return compilePlan(req, e.cfg.StateLimit)
+		p, err := compilePlan(req, e.cfg.StateLimit)
+		if err != nil {
+			return nil, err
+		}
+		// Attach the engine's evaluation metrics to the automatons the
+		// plan will evaluate with. The cache is per-engine, so a cached
+		// plan always reports into its own engine's counters.
+		p.p.SetEvalMetrics(&e.m.eval)
+		if p.ps != nil {
+			p.ps.SetEvalMetrics(&e.m.eval)
+		}
+		return p, nil
 	})
 }
 
@@ -169,17 +190,25 @@ func (e *Engine) Extract(ctx context.Context, plan *Plan, doc string) (*span.Rel
 		return span.NewRelation(plan.p.Vars...),
 			fmt.Errorf("%w (%d bytes > %d)", ErrDocTooLarge, len(doc), e.cfg.MaxDocBuffer)
 	}
-	e.docs.Add(1)
-	e.bytes.Add(uint64(len(doc)))
+	e.m.documents.Inc()
+	e.m.bytes.Add(uint64(len(doc)))
 	if plan.Strategy == StrategySplit {
+		t0 := time.Now()
 		segs := parallel.SegmentsOf(doc, plan.s.Split(doc))
-		e.segments.Add(uint64(len(segs)))
-		return parallel.SplitEvalCtx(ctx, plan.ps, segs, e.evalOpts())
+		e.m.observeStage(StageSegment, time.Since(t0))
+		e.m.segments.Add(uint64(len(segs)))
+		t1 := time.Now()
+		rel, err := parallel.SplitEvalCtx(ctx, plan.ps, segs, e.evalOpts())
+		e.m.observeStage(StageEval, time.Since(t1))
+		return rel, err
 	}
 	if err := ctx.Err(); err != nil {
 		return span.NewRelation(plan.p.Vars...), err
 	}
-	return plan.p.Eval(doc), nil // Eval returns a deduplicated, sorted relation
+	t0 := time.Now()
+	rel := plan.p.Eval(doc) // Eval returns a deduplicated, sorted relation
+	e.m.observeStage(StageEval, time.Since(t0))
+	return rel, nil
 }
 
 // WillStream reports whether ExtractReader would segment this plan's
@@ -226,8 +255,8 @@ func (e *Engine) ExtractReader(ctx context.Context, plan *Plan, r io.Reader) (*s
 		}
 		return e.Extract(ctx, plan, doc)
 	}
-	e.docs.Add(1)
-	e.streamed.Add(1)
+	e.m.documents.Inc()
+	e.m.streamedDocs.Inc()
 
 	batches := make(chan []parallel.Segment, e.cfg.Workers)
 	readErr := make(chan error, 1)
@@ -236,6 +265,10 @@ func (e *Engine) ExtractReader(ctx context.Context, plan *Plan, r io.Reader) (*s
 		g := newSegmenter(plan.s)
 		chunk := make([]byte, e.cfg.ChunkSize)
 		var pending []parallel.Segment
+		// Segmentation time accumulates across the incremental feed/flush
+		// calls and is recorded once per document when the producer exits.
+		var segDur time.Duration
+		defer func() { e.m.observeStage(StageSegment, segDur) }()
 		// send dispatches full batches; sending blocks when every worker
 		// is busy, which in turn pauses reading — backpressure all the
 		// way to the producer of r.
@@ -249,7 +282,7 @@ func (e *Engine) ExtractReader(ctx context.Context, plan *Plan, r io.Reader) (*s
 				batch := make([]parallel.Segment, n)
 				copy(batch, pending[:n])
 				pending = pending[n:]
-				e.segments.Add(uint64(n))
+				e.m.segments.Add(uint64(n))
 				select {
 				case batches <- batch:
 				case <-ctx.Done():
@@ -261,8 +294,11 @@ func (e *Engine) ExtractReader(ctx context.Context, plan *Plan, r io.Reader) (*s
 		for {
 			n, err := r.Read(chunk)
 			if n > 0 {
-				e.bytes.Add(uint64(n))
-				if !send(g.feed(chunk[:n]), false) {
+				e.m.bytes.Add(uint64(n))
+				t0 := time.Now()
+				segs := g.feed(chunk[:n])
+				segDur += time.Since(t0)
+				if !send(segs, false) {
 					readErr <- ctx.Err()
 					return
 				}
@@ -275,7 +311,10 @@ func (e *Engine) ExtractReader(ctx context.Context, plan *Plan, r io.Reader) (*s
 			}
 			switch {
 			case err == io.EOF:
-				if !send(g.flush(), true) {
+				t0 := time.Now()
+				segs := g.flush()
+				segDur += time.Since(t0)
+				if !send(segs, true) {
 					readErr <- ctx.Err()
 					return
 				}
@@ -291,7 +330,12 @@ func (e *Engine) ExtractReader(ctx context.Context, plan *Plan, r io.Reader) (*s
 		}
 	}()
 
-	rel, err := parallel.SplitEvalBatches(ctx, plan.ps, batches, e.cfg.Workers)
+	t0 := time.Now()
+	rel, err := parallel.SplitEvalBatches(ctx, plan.ps, batches,
+		parallel.Options{Workers: e.cfg.Workers, Metrics: &e.m.exec})
+	// On this path evaluation overlaps ingestion, so the eval stage's
+	// wall time includes time the workers spent blocked on the reader.
+	e.m.observeStage(StageEval, time.Since(t0))
 	// Prefer the producer's verdict when it is already in: a cancellation
 	// arriving after a fully successful read+evaluation must not
 	// nondeterministically discard the complete result.
@@ -319,20 +363,25 @@ func (e *Engine) ExtractReader(ctx context.Context, plan *Plan, r io.Reader) (*s
 	return rel, err
 }
 
-// Stats snapshots the engine counters.
+// Stats snapshots the engine counters, the per-stage time breakdown,
+// the executor's scheduling statistics and the localizer's
+// effectiveness in one pass.
 func (e *Engine) Stats() Stats {
 	up := time.Since(e.start)
-	segs := e.segments.Load()
+	segs := e.m.segments.Load()
 	s := Stats{
 		UptimeSec:    up.Seconds(),
-		Documents:    e.docs.Load(),
-		StreamedDocs: e.streamed.Load(),
-		Bytes:        e.bytes.Load(),
+		Documents:    e.m.documents.Load(),
+		StreamedDocs: e.m.streamedDocs.Load(),
+		Bytes:        e.m.bytes.Load(),
 		Segments:     segs,
 		Workers:      e.cfg.Workers,
 		Batch:        e.cfg.Batch,
 		StreamForced: e.cfg.StreamIncremental,
 		PlanCache:    e.cache.stats(),
+		Stages:       e.m.stageStats(),
+		Executor:     e.m.execStats(e.cfg.Workers),
+		Localization: e.m.localizationStats(),
 	}
 	if up > 0 {
 		s.SegmentsPerSec = float64(segs) / up.Seconds()
@@ -341,7 +390,7 @@ func (e *Engine) Stats() Stats {
 }
 
 func (e *Engine) evalOpts() parallel.Options {
-	return parallel.Options{Workers: e.cfg.Workers, Batch: e.cfg.Batch}
+	return parallel.Options{Workers: e.cfg.Workers, Batch: e.cfg.Batch, Metrics: &e.m.exec}
 }
 
 // readAllBounded reads the whole stream, failing with ErrDocTooLarge

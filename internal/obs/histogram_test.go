@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries pins the log₂ bucketing scheme: bucket 0 is
+// exactly {0}, bucket i (i ≥ 1) is exactly [2^(i-1), 2^i).
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4}, {15, 4},
+		{16, 5},
+		{1023, 10}, {1024, 11}, {1025, 11},
+		{1<<20 - 1, 20}, {1 << 20, 21},
+		{1<<63 - 1, 63}, {1 << 63, 64}, {math.MaxUint64, 64},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+		i := bucketOf(c.v)
+		if lo, hi := BucketLower(i), BucketUpper(i); c.v < lo || c.v > hi {
+			t.Errorf("value %d outside its own bucket %d bounds [%d, %d]", c.v, i, lo, hi)
+		}
+	}
+	for i := 1; i < 64; i++ {
+		if BucketLower(i) != BucketUpper(i-1)+1 {
+			t.Errorf("bucket %d lower %d does not abut bucket %d upper %d",
+				i, BucketLower(i), i-1, BucketUpper(i-1))
+		}
+	}
+}
+
+// TestHistogramCountSum checks the exact (unbucketed) aggregates.
+func TestHistogramCountSum(t *testing.T) {
+	var h Histogram
+	var wantSum uint64
+	vals := []uint64{0, 1, 1, 7, 100, 1 << 30}
+	for _, v := range vals {
+		h.Record(v)
+		wantSum += v
+	}
+	s := h.Snapshot()
+	if s.Count != uint64(len(vals)) || s.Sum != wantSum {
+		t.Fatalf("count=%d sum=%d, want %d/%d", s.Count, s.Sum, len(vals), wantSum)
+	}
+	if got, want := s.Mean(), float64(wantSum)/float64(len(vals)); got != want {
+		t.Fatalf("mean=%v want %v", got, want)
+	}
+	h.RecordDuration(-time.Second) // clock step: clamps to 0, never underflows
+	if s = h.Snapshot(); s.Sum != wantSum {
+		t.Fatalf("negative duration changed sum: %d != %d", s.Sum, wantSum)
+	}
+}
+
+// quantileExact is the reference: the ceil-rank order statistic of the
+// recorded values.
+func quantileExact(sorted []uint64, q float64) uint64 {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// TestQuantileWithinOneBucket: on synthetic distributions the histogram
+// estimate must land inside the bucket of the exact order statistic —
+// the factor-of-two guarantee log₂ bucketing promises.
+func TestQuantileWithinOneBucket(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	distributions := map[string]func() uint64{
+		"uniform":     func() uint64 { return rng.Uint64N(1 << 20) },
+		"exponential": func() uint64 { return uint64(rng.ExpFloat64() * 5e6) },
+		"lognormal":   func() uint64 { return uint64(math.Exp(rng.NormFloat64()*2 + 10)) },
+		"constant":    func() uint64 { return 4096 },
+		"bimodal": func() uint64 {
+			if rng.Uint64N(2) == 0 {
+				return 100 + rng.Uint64N(10)
+			}
+			return 1<<24 + rng.Uint64N(1<<10)
+		},
+	}
+	for name, gen := range distributions {
+		var h Histogram
+		vals := make([]uint64, 10000)
+		for i := range vals {
+			vals[i] = gen()
+			h.Record(vals[i])
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		s := h.Snapshot()
+		for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+			exact := quantileExact(vals, q)
+			est := s.Quantile(q)
+			b := bucketOf(exact)
+			lo, hi := float64(BucketLower(b)), float64(BucketUpper(b))
+			if est < lo || est > hi {
+				t.Errorf("%s: q=%v estimate %v outside exact value %d's bucket [%v, %v]",
+					name, q, est, exact, lo, hi)
+			}
+		}
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	var h Histogram
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+}
+
+// FuzzMergeEqualsUnion: Merge(a, b) must be indistinguishable from
+// recording the union of both observation streams into one histogram.
+func FuzzMergeEqualsUnion(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 255}, []byte{7, 7, 128})
+	f.Add([]byte{}, []byte{0})
+	f.Fuzz(func(t *testing.T, as, bs []byte) {
+		// Spread byte seeds across the full value range so every bucket
+		// region is exercised.
+		widen := func(b byte, i int) uint64 {
+			return (uint64(b) << (uint(i*7) % 56)) + uint64(b)
+		}
+		var ha, hb, union Histogram
+		for i, b := range as {
+			v := widen(b, i)
+			ha.Record(v)
+			union.Record(v)
+		}
+		for i, b := range bs {
+			v := widen(b, i+3)
+			hb.Record(v)
+			union.Record(v)
+		}
+		merged := ha.Snapshot()
+		merged.Merge(hb.Snapshot())
+		if merged != union.Snapshot() {
+			t.Fatalf("Merge(a,b) = %+v\n != union %+v", merged, union.Snapshot())
+		}
+	})
+}
+
+// TestConcurrentRecord drives Record from many goroutines (meaningful
+// under -race) and checks nothing is lost.
+func TestConcurrentRecord(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(uint64(w*per + i))
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	var bucketSum uint64
+	for _, b := range s.Buckets {
+		bucketSum += b
+	}
+	if bucketSum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketSum, s.Count)
+	}
+}
+
+// TestRecordAllocFree asserts the hot path never allocates — the
+// property that lets instrumentation live inside the evaluation
+// pipeline.
+func TestRecordAllocFree(t *testing.T) {
+	var h Histogram
+	var c Counter
+	var g Gauge
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Record(12345)
+		c.Add(3)
+		g.Max(7)
+	})
+	if allocs != 0 {
+		t.Fatalf("record hot path allocates %v times per op, want 0", allocs)
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(uint64(i))
+	}
+}
+
+func BenchmarkHistogramSnapshotQuantile(b *testing.B) {
+	var h Histogram
+	for i := 0; i < 100000; i++ {
+		h.Record(uint64(i) * 37)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := h.Snapshot()
+		_ = s.Quantile(0.99)
+	}
+}

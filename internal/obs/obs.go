@@ -1,0 +1,77 @@
+// Package obs is the dependency-free metrics core the serving stack is
+// instrumented with: atomic counters and gauges, lock-free log₂-bucketed
+// histograms with mergeable snapshots, and a registry that renders
+// everything in the Prometheus text exposition format.
+//
+// The design constraint is the hot path: instrumentation lives inside
+// the evaluation pipeline (per request, per executor chunk, per large
+// evaluation), so recording must be a handful of uncontended atomic adds
+// — no locks, no allocation, no map lookups. Metric objects are plain
+// structs usable from their zero value; the registry only binds names to
+// them for export and never sits on the recording path. Snapshots are
+// value types: reading a histogram produces a consistent-enough copy
+// (each bucket is read atomically; the histogram is monotonic, so a
+// concurrent recording can at worst straddle count and one bucket by a
+// single observation), and snapshots merge by addition, which is what
+// lets per-worker or per-engine histograms aggregate into one view.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// AddDuration accumulates a wall-time duration (clamped at zero) —
+// counters that sum nanoseconds back cumulative stage-time shares.
+func (c *Counter) AddDuration(d time.Duration) {
+	if d > 0 {
+		c.v.Add(uint64(d))
+	}
+}
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (queue depth, in-flight
+// requests). The zero value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Add moves the gauge by n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc and Dec bracket an in-flight section.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec decrements the gauge by one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Max raises the gauge to n if n is larger — a lock-free high-water
+// mark.
+func (g *Gauge) Max(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }

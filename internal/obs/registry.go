@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry binds metric objects to names for export. It never sits on
+// the recording path: instrumented components own their Counters,
+// Gauges and Histograms as plain struct fields and record into them
+// directly; the registry only walks them at scrape time. A series name
+// may carry Prometheus labels inline (`http_requests_total{endpoint="/v1/extract"}`);
+// label variants of the same base name share one HELP/TYPE header.
+type Registry struct {
+	mu      sync.Mutex
+	entries []entry
+}
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindGaugeFunc
+	kindCounterFunc
+)
+
+type entry struct {
+	name  string // full series name, possibly with {labels}
+	help  string
+	kind  metricKind
+	scale float64 // export multiplier (1e-9 turns nanoseconds into seconds)
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) add(e entry) {
+	if e.scale == 0 {
+		e.scale = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, old := range r.entries {
+		if old.name == e.name {
+			panic("obs: duplicate metric name " + e.name)
+		}
+	}
+	r.entries = append(r.entries, e)
+}
+
+// Counter creates and registers a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.BindCounter(name, help, c)
+	return c
+}
+
+// Gauge creates and registers a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.BindGauge(name, help, g)
+	return g
+}
+
+// Histogram creates and registers a histogram.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	h := &Histogram{}
+	r.BindHistogram(name, help, h)
+	return h
+}
+
+// BindCounter registers an existing counter under name.
+func (r *Registry) BindCounter(name, help string, c *Counter) {
+	r.add(entry{name: name, help: help, kind: kindCounter, counter: c})
+}
+
+// BindDurationCounter registers a counter that accumulates nanoseconds,
+// exported in seconds (name should end in _seconds_total).
+func (r *Registry) BindDurationCounter(name, help string, c *Counter) {
+	r.add(entry{name: name, help: help, kind: kindCounter, counter: c, scale: 1e-9})
+}
+
+// BindGauge registers an existing gauge under name.
+func (r *Registry) BindGauge(name, help string, g *Gauge) {
+	r.add(entry{name: name, help: help, kind: kindGauge, gauge: g})
+}
+
+// GaugeFunc registers a gauge computed at scrape time — the bridge for
+// values that already live behind someone else's synchronization (the
+// plan cache's size under its mutex, process uptime).
+func (r *Registry) GaugeFunc(name, help string, f func() float64) {
+	r.add(entry{name: name, help: help, kind: kindGaugeFunc, fn: f})
+}
+
+// CounterFunc registers a monotone counter computed at scrape time, for
+// counters maintained behind someone else's synchronization.
+func (r *Registry) CounterFunc(name, help string, f func() float64) {
+	r.add(entry{name: name, help: help, kind: kindCounterFunc, fn: f})
+}
+
+// BindHistogram registers an existing histogram under name.
+func (r *Registry) BindHistogram(name, help string, h *Histogram) {
+	r.add(entry{name: name, help: help, kind: kindHistogram, hist: h})
+}
+
+// BindDurationHistogram registers a histogram that records nanoseconds,
+// exported in seconds (name should end in _seconds).
+func (r *Registry) BindDurationHistogram(name, help string, h *Histogram) {
+	r.add(entry{name: name, help: help, kind: kindHistogram, hist: h, scale: 1e-9})
+}
+
+// baseName strips the inline label section from a series name.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// series renders name with extra appended to its label set:
+// series(`a{x="1"}`, `le="2"`) = `a{x="1",le="2"}`.
+func series(name, extra string) string {
+	if extra == "" {
+		return name
+	}
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:len(name)-1] + "," + extra + "}"
+	}
+	return name + "{" + extra + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4). Entries are written in
+// registration order, grouped so all label variants of a base name
+// follow its single HELP/TYPE header. Histograms are exposed in the
+// native cumulative form — `_bucket{le="…"}` lines at the populated
+// log₂ bucket bounds plus `le="+Inf"`, `_sum` and `_count` — so any
+// Prometheus-compatible scraper can aggregate and quantile them.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	entries := make([]entry, len(r.entries))
+	copy(entries, r.entries)
+	r.mu.Unlock()
+
+	// Stable-group label variants by base name, preserving first-seen
+	// order, so HELP/TYPE headers are emitted exactly once per family.
+	order := map[string]int{}
+	for _, e := range entries {
+		b := baseName(e.name)
+		if _, ok := order[b]; !ok {
+			order[b] = len(order)
+		}
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		return order[baseName(entries[i].name)] < order[baseName(entries[j].name)]
+	})
+
+	headered := ""
+	for _, e := range entries {
+		base := baseName(e.name)
+		if base != headered {
+			typ := "counter"
+			switch e.kind {
+			case kindGauge, kindGaugeFunc:
+				typ = "gauge"
+			case kindHistogram:
+				typ = "histogram"
+			case kindCounterFunc:
+				typ = "counter"
+			}
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", base, e.help, base, typ); err != nil {
+				return err
+			}
+			headered = base
+		}
+		var err error
+		switch e.kind {
+		case kindCounter:
+			err = writeLine(w, e.name, float64(e.counter.Load())*e.scale)
+		case kindGauge:
+			err = writeLine(w, e.name, float64(e.gauge.Load())*e.scale)
+		case kindGaugeFunc, kindCounterFunc:
+			err = writeLine(w, e.name, e.fn()*e.scale)
+		case kindHistogram:
+			err = writeHistogram(w, e.name, e.hist.Snapshot(), e.scale)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeLine(w io.Writer, name string, v float64) error {
+	_, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(v))
+	return err
+}
+
+func writeHistogram(w io.Writer, name string, s HistogramSnapshot, scale float64) error {
+	base := baseName(name)
+	labels := ""
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		labels = name[i+1 : len(name)-1]
+	}
+	bucketSeries := func(le string) string {
+		inner := `le="` + le + `"`
+		if labels != "" {
+			inner = labels + "," + inner
+		}
+		return base + "_bucket{" + inner + "}"
+	}
+	var cum uint64
+	for i, b := range s.Buckets {
+		if b == 0 {
+			continue
+		}
+		cum += b
+		le := formatFloat(float64(BucketUpper(i)) * scale)
+		if err := writeLine(w, bucketSeries(le), float64(cum)); err != nil {
+			return err
+		}
+	}
+	// Snapshot reads count before the buckets, so a racing Record can
+	// leave the bucket sum one ahead of Count; clamp so the +Inf bucket
+	// stays cumulative-monotone and equal to _count.
+	total := s.Count
+	if cum > total {
+		total = cum
+	}
+	if err := writeLine(w, bucketSeries("+Inf"), float64(total)); err != nil {
+		return err
+	}
+	if err := writeLine(w, series(base+"_sum", labels), float64(s.Sum)*scale); err != nil {
+		return err
+	}
+	return writeLine(w, series(base+"_count", labels), float64(total))
+}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"bufio"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusFormat validates the exposition output line by
+// line: every non-comment line is `name{labels} value`, every family
+// has exactly one HELP/TYPE header, histogram buckets are cumulative
+// and end in le="+Inf" equal to _count.
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "requests served")
+	c.Add(42)
+	r.Counter(`test_labeled_total{endpoint="/v1/extract"}`, "labeled requests").Add(7)
+	r.Counter(`test_labeled_total{endpoint="/v1/stats"}`, "labeled requests").Add(9)
+	g := r.Gauge("test_in_flight", "in-flight requests")
+	g.Set(3)
+	r.GaugeFunc("test_uptime_seconds", "uptime", func() float64 { return 1.5 })
+	h := r.Histogram(`test_latency_seconds{endpoint="/v1/extract"}`, "request latency")
+	for _, v := range []uint64{0, 1, 5, 1000, 1000000, 1 << 40} {
+		h.Record(v)
+	}
+	durc := &Counter{}
+	durc.Add(2_500_000_000) // 2.5s in ns
+	r.BindDurationCounter("test_busy_seconds_total", "busy time", durc)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	values := map[string]float64{}
+	helps, types := map[string]int{}, map[string]int{}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			helps[strings.Fields(line)[2]]++
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			types[f[2]]++
+			switch f[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Errorf("bad TYPE %q", line)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Errorf("unknown comment line %q", line)
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		name, valStr := line[:sp], line[sp+1:]
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("sample %q: bad value: %v", line, err)
+		}
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Errorf("unbalanced label braces in %q", name)
+			}
+			inner := name[i+1 : len(name)-1]
+			for _, pair := range strings.Split(inner, ",") {
+				eq := strings.IndexByte(pair, '=')
+				if eq < 0 || !strings.HasPrefix(pair[eq+1:], `"`) || !strings.HasSuffix(pair, `"`) {
+					t.Errorf("malformed label %q in %q", pair, name)
+				}
+			}
+		}
+		if _, dup := values[name]; dup {
+			t.Errorf("duplicate series %q", name)
+		}
+		values[name] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	for family, n := range helps {
+		if n != 1 || types[family] != 1 {
+			t.Errorf("family %s: HELP×%d TYPE×%d, want exactly one each", family, n, types[family])
+		}
+	}
+	if values["test_requests_total"] != 42 {
+		t.Errorf("counter = %v, want 42", values["test_requests_total"])
+	}
+	if values[`test_labeled_total{endpoint="/v1/extract"}`] != 7 ||
+		values[`test_labeled_total{endpoint="/v1/stats"}`] != 9 {
+		t.Error("labeled counter variants wrong or missing")
+	}
+	if helps["test_labeled_total"] != 1 {
+		t.Error("labeled variants must share one header")
+	}
+	if values["test_in_flight"] != 3 || values["test_uptime_seconds"] != 1.5 {
+		t.Error("gauge values wrong")
+	}
+	if got := values["test_busy_seconds_total"]; got != 2.5 {
+		t.Errorf("duration counter = %v, want 2.5 (seconds)", got)
+	}
+
+	// Histogram contract: cumulative buckets, +Inf == _count, sum exact.
+	count := values[`test_latency_seconds_count{endpoint="/v1/extract"}`]
+	if count != 6 {
+		t.Fatalf("histogram _count = %v, want 6", count)
+	}
+	inf := values[`test_latency_seconds_bucket{endpoint="/v1/extract",le="+Inf"}`]
+	if inf != count {
+		t.Fatalf("le=+Inf bucket %v != count %v", inf, count)
+	}
+	var les []float64
+	var cums []float64
+	for name, v := range values {
+		if !strings.HasPrefix(name, "test_latency_seconds_bucket{") || strings.Contains(name, "+Inf") {
+			continue
+		}
+		leStr := name[strings.Index(name, `le="`)+4:]
+		leStr = leStr[:strings.IndexByte(leStr, '"')]
+		le, err := strconv.ParseFloat(leStr, 64)
+		if err != nil {
+			t.Fatalf("bad le in %q: %v", name, err)
+		}
+		les = append(les, le)
+		cums = append(cums, v)
+	}
+	if len(les) == 0 {
+		t.Fatal("no finite histogram buckets emitted")
+	}
+	// Sort by le and check cumulative monotonicity.
+	for i := range les {
+		for j := i + 1; j < len(les); j++ {
+			if les[j] < les[i] {
+				les[i], les[j] = les[j], les[i]
+				cums[i], cums[j] = cums[j], cums[i]
+			}
+		}
+	}
+	for i := 1; i < len(cums); i++ {
+		if cums[i] < cums[i-1] {
+			t.Fatalf("bucket cumulative counts not monotone: %v at les %v", cums, les)
+		}
+	}
+	if cums[len(cums)-1] > inf {
+		t.Fatalf("last finite bucket %v exceeds +Inf %v", cums[len(cums)-1], inf)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup_total", "y")
+}

@@ -3,6 +3,7 @@ package parallel
 import (
 	"context"
 	"sync"
+	"time"
 
 	"repro/internal/span"
 	"repro/internal/vsa"
@@ -35,6 +36,11 @@ type executor struct {
 	// context fired; the worker loop re-checks ctx to distinguish.
 	recv func(context.Context) (chunk, bool)
 
+	// m, when non-nil, receives this run's scheduling statistics.
+	// Workers tally privately and flush at exit (see ExecMetrics), so a
+	// nil m costs nothing and a live one costs two clock reads per chunk.
+	m *ExecMetrics
+
 	deques []deque
 	accs   []accumulator
 }
@@ -59,7 +65,7 @@ func (a *accumulator) rel(dest int) *span.Relation {
 // newExecutor prepares an executor with nw workers over ndest
 // destination relations. ps is Prepared so the workers share warm
 // evaluation caches instead of racing to build them.
-func newExecutor(ctx context.Context, ps *vsa.Automaton, nw, ndest, grain int, recv func(context.Context) (chunk, bool)) *executor {
+func newExecutor(ctx context.Context, ps *vsa.Automaton, nw, ndest, grain int, recv func(context.Context) (chunk, bool), m *ExecMetrics) *executor {
 	ps.Prepare()
 	x := &executor{
 		ps:     ps,
@@ -67,6 +73,7 @@ func newExecutor(ctx context.Context, ps *vsa.Automaton, nw, ndest, grain int, r
 		grain:  grain,
 		ndest:  ndest,
 		recv:   recv,
+		m:      m,
 		deques: make([]deque, nw),
 		accs:   make([]accumulator, nw),
 	}
@@ -93,6 +100,10 @@ func (x *executor) deal(chunks []chunk) {
 // workers stop between segments and whatever they had accumulated is
 // merged and returned (the partial-result contract of SplitEvalCtx).
 func (x *executor) run() []*span.Relation {
+	var t0 time.Time
+	if x.m != nil {
+		t0 = time.Now()
+	}
 	var wg sync.WaitGroup
 	for id := range x.deques {
 		wg.Add(1)
@@ -102,7 +113,15 @@ func (x *executor) run() []*span.Relation {
 		}()
 	}
 	wg.Wait()
-	return x.merge()
+	if x.m == nil {
+		return x.merge()
+	}
+	x.m.Runs.Inc()
+	x.m.RunNS.AddDuration(time.Since(t0))
+	tm := time.Now()
+	rels := x.merge()
+	x.m.MergeNS.RecordDuration(time.Since(tm))
+	return rels
 }
 
 // worker is one scheduling loop: drain the own deque, then steal, then
@@ -113,6 +132,11 @@ func (x *executor) run() []*span.Relation {
 func (x *executor) worker(id int) {
 	self := &x.deques[id]
 	acc := &x.accs[id]
+	var st workerStats
+	if x.m != nil {
+		st.dequeMax = self.size() // the dealt backlog, before any pop
+		defer x.m.flush(&st)
+	}
 	rng := uint32(id)*2654435761 + 1 // per-worker victim sequence, any nonzero seed
 	for {
 		if x.ctx.Err() != nil {
@@ -120,19 +144,23 @@ func (x *executor) worker(id int) {
 		}
 		c, ok := self.pop()
 		if !ok {
-			c, ok = x.trySteal(id, &rng)
+			if c, ok = x.trySteal(id, &rng); ok {
+				st.steals++
+			}
 		}
 		if !ok && x.recv != nil {
 			if c, ok = x.recv(x.ctx); !ok {
 				// Feed exhausted. One more sweep: a peer may have split a
 				// late chunk after our first sweep came up empty.
-				c, ok = x.trySteal(id, &rng)
+				if c, ok = x.trySteal(id, &rng); ok {
+					st.steals++
+				}
 			}
 		}
 		if !ok {
 			return
 		}
-		x.exec(c, self, acc)
+		x.exec(c, self, acc, &st)
 	}
 }
 
@@ -166,18 +194,35 @@ func (x *executor) trySteal(id int, rng *uint32) (chunk, bool) {
 // producer, a flush burst from the streaming segmenter) spreads across
 // the pool. Cancellation is honored between segments; the segment in
 // flight completes, matching the pre-executor behavior.
-func (x *executor) exec(c chunk, self *deque, acc *accumulator) {
+func (x *executor) exec(c chunk, self *deque, acc *accumulator, st *workerStats) {
 	for x.grain > 0 && len(c.segs) > x.grain {
 		half := (len(c.segs) + 1) / 2
 		self.push(chunk{dest: c.dest, segs: c.segs[half:]})
 		c.segs = c.segs[:half]
+		if x.m != nil {
+			if n := self.size(); n > st.dequeMax {
+				st.dequeMax = n
+			}
+		}
+	}
+	var t0 time.Time
+	if x.m != nil {
+		t0 = time.Now()
 	}
 	rel := acc.rel(c.dest)
+	done := 0
 	for _, seg := range c.segs {
 		if x.ctx.Err() != nil {
-			return
+			break
 		}
 		x.ps.EvalAppend(seg.Text, seg.Span, rel, &acc.arena)
+		st.bytes += uint64(len(seg.Text))
+		done++
+	}
+	st.chunks++
+	st.segments += uint64(done)
+	if x.m != nil {
+		st.busy += time.Since(t0)
 	}
 }
 

@@ -206,7 +206,7 @@ func TestSplitEvalBatchesOversizedBatchIsSplit(t *testing.T) {
 		defer close(batches)
 		batches <- segs
 	}()
-	got, err := SplitEvalBatches(context.Background(), p, batches, 4)
+	got, err := SplitEvalBatches(context.Background(), p, batches, Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

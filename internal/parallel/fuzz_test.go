@@ -109,7 +109,7 @@ func FuzzSplitEvalVsSequential(f *testing.F) {
 						lo = hi
 					}
 				}()
-				got, err := SplitEvalBatches(context.Background(), pair.p, batches, 3)
+				got, err := SplitEvalBatches(context.Background(), pair.p, batches, Options{Workers: 3})
 				if err != nil {
 					t.Fatal(err)
 				}

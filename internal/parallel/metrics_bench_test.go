@@ -1,0 +1,34 @@
+package parallel
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/library"
+)
+
+// The two benchmarks below are the instrumentation-overhead check: the
+// identical split evaluation with metrics disabled (nil, the library
+// default) and enabled (the engine's configuration). Run them
+// interleaved (-count N) and compare — the acceptance bar for the
+// observability layer is ≤ 2% between the two.
+
+func benchSplitEval(b *testing.B, m *ExecMetrics) {
+	p := library.NegativeSentiment()
+	p.Prepare()
+	doc := strings.Join(corpus.Reviews(1, 4096), "\n")
+	segs := SegmentsOf(doc, library.FastSentenceSplit(doc))
+	opts := Options{Workers: 4, Metrics: m}
+	b.SetBytes(int64(len(doc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SplitEvalCtx(context.Background(), p, segs, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSplitEvalMetricsNil(b *testing.B)  { benchSplitEval(b, nil) }
+func BenchmarkSplitEvalMetricsLive(b *testing.B) { benchSplitEval(b, &ExecMetrics{}) }

@@ -61,6 +61,11 @@ type Options struct {
 	// more finely. ≤ 0 selects an adaptive grain of roughly 32 chunks
 	// per worker. The result does not depend on it.
 	Batch int
+	// Metrics, when non-nil, receives the executor's scheduling
+	// statistics (steals, chunk/segment counts, worker busy time, merge
+	// latency). nil disables all measurement. The result does not
+	// depend on it.
+	Metrics *ExecMetrics
 }
 
 func (o Options) workers() int {
@@ -116,7 +121,7 @@ func SplitEval(ps *vsa.Automaton, segments []Segment, workers int) *span.Relatio
 // context the result equals SplitEval's.
 func SplitEvalCtx(ctx context.Context, ps *vsa.Automaton, segments []Segment, opts Options) (*span.Relation, error) {
 	grain := opts.grain(len(segments))
-	x := newExecutor(ctx, ps, opts.workers(), 1, grain, nil)
+	x := newExecutor(ctx, ps, opts.workers(), 1, grain, nil, opts.Metrics)
 	x.deal(chunked(0, segments, grain, nil))
 	rels := x.run()
 	return rels[0], ctx.Err()
@@ -133,11 +138,10 @@ func SplitEvalCtx(ctx context.Context, ps *vsa.Automaton, segments []Segment, op
 // workers steal it. The merged relation is deduplicated and sorted, so
 // the result is deterministic regardless of arrival order and steal
 // schedule. On cancellation the workers drain nothing further and ctx's
-// error is returned with the partial result.
-func SplitEvalBatches(ctx context.Context, ps *vsa.Automaton, batches <-chan []Segment, workers int) (*span.Relation, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+// error is returned with the partial result. Only opts.Workers and
+// opts.Metrics apply: the scheduling grain of this path is the arriving
+// batch size (re-split at streamGrain).
+func SplitEvalBatches(ctx context.Context, ps *vsa.Automaton, batches <-chan []Segment, opts Options) (*span.Relation, error) {
 	recv := func(ctx context.Context) (chunk, bool) {
 		select {
 		case b, ok := <-batches:
@@ -151,7 +155,7 @@ func SplitEvalBatches(ctx context.Context, ps *vsa.Automaton, batches <-chan []S
 			return chunk{}, false
 		}
 	}
-	x := newExecutor(ctx, ps, workers, 1, streamGrain, recv)
+	x := newExecutor(ctx, ps, opts.workers(), 1, streamGrain, recv, opts.Metrics)
 	rels := x.run()
 	return rels[0], ctx.Err()
 }
@@ -166,7 +170,7 @@ func CollectionEval(p *vsa.Automaton, docsIn []string, workers int) []*span.Rela
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	x := newExecutor(context.Background(), p, workers, len(docsIn), 0, nil)
+	x := newExecutor(context.Background(), p, workers, len(docsIn), 0, nil, nil)
 	chunks := make([]chunk, len(docsIn))
 	for i, d := range docsIn {
 		chunks[i] = chunk{dest: i, segs: []Segment{{Span: span.Span{Start: 1, End: len(d) + 1}, Text: d}}}
@@ -202,7 +206,7 @@ func CollectionEvalSplit(ps *vsa.Automaton, docsIn []string, splitFn func(string
 		c, ok := <-feed
 		return c, ok
 	}
-	x := newExecutor(context.Background(), ps, workers, len(docsIn), streamGrain, recv)
+	x := newExecutor(context.Background(), ps, workers, len(docsIn), streamGrain, recv, nil)
 	return x.run()
 }
 

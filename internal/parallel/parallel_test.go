@@ -159,7 +159,7 @@ func TestSplitEvalBatchesStreaming(t *testing.T) {
 			batches <- []Segment{s}
 		}
 	}()
-	got, err := SplitEvalBatches(context.Background(), p, batches, 3)
+	got, err := SplitEvalBatches(context.Background(), p, batches, Options{Workers: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/alphabet"
 	"repro/internal/span"
@@ -186,6 +187,16 @@ func (a *Automaton) EvalAppend(doc string, by span.Span, rel *span.Relation, are
 	if len(rel.Vars) != len(a.Vars) {
 		panic("vsa: EvalAppend relation arity does not match automaton arity")
 	}
+	// m is nil for uninstrumented automata and for sub-window-scale
+	// documents (see MetricsMinDocBytes): on those, instrumentation is
+	// one atomic pointer load and a length compare.
+	m := a.metricsFor(doc)
+	var t0 time.Time
+	if m != nil {
+		m.Evals.Inc()
+		m.DocBytes.Add(uint64(len(doc)))
+		t0 = time.Now()
+	}
 	p := a.prog()
 	delta := by.Start - 1
 	if loc := a.localizer(); loc.ok {
@@ -195,27 +206,59 @@ func (a *Automaton) EvalAppend(doc string, by span.Span, rel *span.Relation, are
 			if len(ws.ends) == 0 && !ws.finalsAtEnd {
 				// No boundary where a match can complete: ⟦a⟧(d) = ∅,
 				// and the simulation machinery was never touched.
+				if m != nil {
+					m.LocalizeNS.AddDuration(time.Since(t0))
+					m.EmptyDocs.Inc()
+				}
 				return
 			}
 			if loc.narrow(p, doc, ws) {
+				if m != nil {
+					now := time.Now()
+					m.LocalizeNS.AddDuration(now.Sub(t0))
+					t0 = now
+					m.Windows.Add(uint64(len(ws.windows)))
+					var wb uint64
+					for _, w := range ws.windows {
+						wb += uint64(w.hi - w.lo)
+					}
+					m.WindowBytes.Add(wb)
+				}
 				run := newEvalRun(a, p, rel, doc, delta, arena)
 				defer run.release()
 				for _, w := range ws.windows {
 					seed := loc.seedAt(p, doc, w.lo, ws)
 					run.window(w.lo, w.hi, seed, w.hi == len(doc))
 				}
+				if m != nil {
+					m.SimNS.AddDuration(time.Since(t0))
+				}
 				return
 			}
 		}
 	}
+	if m != nil {
+		// Whatever was spent attempting localization before falling back
+		// is still localization time; the rest of the call is simulation.
+		now := time.Now()
+		m.LocalizeNS.AddDuration(now.Sub(t0))
+		t0 = now
+		m.Fallbacks.Inc()
+	}
 	// Fallback: ⟦a⟧(d) = ∅ iff no accepting run exists; the DFA decides
 	// that without touching the assignment machinery.
 	if !a.EvalBool(doc) {
+		if m != nil {
+			m.SimNS.AddDuration(time.Since(t0))
+		}
 		return
 	}
 	run := newEvalRun(a, p, rel, doc, delta, arena)
 	defer run.release()
 	run.window(0, len(doc), nil, true)
+	if m != nil {
+		m.SimNS.AddDuration(time.Since(t0))
+	}
 }
 
 // evalRun bundles the per-evaluation state shared by every window of one

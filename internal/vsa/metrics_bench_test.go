@@ -1,0 +1,31 @@
+package vsa_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/regexformula"
+	"repro/internal/vsa"
+)
+
+// Instrumentation-overhead check for the evaluation core: the same
+// large-document evaluation with and without an attached EvalMetrics.
+// Run interleaved (-count N) and compare; the acceptance bar for the
+// observability layer is ≤ 2%.
+
+func benchEvalMetrics(b *testing.B, attach bool) {
+	a := regexformula.MustCompile(".*[ .]y{bad ([a-z]+)}[ .].*|y{bad ([a-z]+)}[ .].*")
+	a.Prepare()
+	if attach {
+		a.SetEvalMetrics(&vsa.EvalMetrics{})
+	}
+	doc := strings.Repeat("one bad word in some plain filler text. ", 1<<12)
+	b.SetBytes(int64(len(doc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Eval(doc)
+	}
+}
+
+func BenchmarkEvalMetricsOff(b *testing.B) { benchEvalMetrics(b, false) }
+func BenchmarkEvalMetricsOn(b *testing.B)  { benchEvalMetrics(b, true) }
