@@ -2,20 +2,23 @@
 // split-then-distribute speedups of the paper's Section 1 (E1–E5), the
 // complexity-shape measurements for the decision procedures (T1–T8),
 // the evaluation-core throughput snapshot (EVAL) that tracks the hot
-// path across PRs, and the split-evaluation scheduling snapshot (SPLIT)
+// path across PRs, the split-evaluation scheduling snapshot (SPLIT)
 // that tracks the work-stealing executor against the sequential-Eval
-// roofline.
+// roofline, and the streamed-ingest snapshot (READER) that tracks the
+// compiled incremental segmenter and the engine's reader paths.
 //
 // Usage:
 //
-//	splitbench [-exp all|EVAL|SPLIT|E1|...|T8] [-bytes n] [-docs n] [-workers n] [-seed n] [-json file]
+//	splitbench [-exp all|EVAL|SPLIT|READER|E1|...|T8] [-bytes n] [-docs n] [-workers n] [-seed n] [-json file]
 //
-// With -json, the EVAL and SPLIT experiments additionally write their
-// measurements (MB/s on the standard corpora) as a machine-readable
-// snapshot, e.g. BENCH_PR3.json (EVAL) or BENCH_PR5.json (SPLIT) — CI
-// runs short versions of both to keep the benchmark path compiling and
-// to record the performance trajectory. SPLIT verifies every split
-// datapoint byte-identical to sequential evaluation before timing it.
+// With -json, the EVAL, SPLIT and READER experiments additionally write
+// their measurements (MB/s on the standard corpora) as a
+// machine-readable snapshot, e.g. BENCH_PR3.json (EVAL), BENCH_PR5.json
+// (SPLIT) or BENCH_PR7.json (READER) — CI runs short versions of each
+// to keep the benchmark path compiling and to record the performance
+// trajectory. SPLIT verifies every split datapoint byte-identical to
+// sequential evaluation before timing it; READER verifies the chunked
+// resumable scan span-identical to the reference splitter.
 package main
 
 import (
@@ -38,6 +41,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/reason"
 	"repro/internal/regexformula"
+	"repro/internal/span"
 	"repro/internal/vsa"
 )
 
@@ -58,23 +62,24 @@ var lastEngineStats *engine.Stats
 func main() {
 	flag.Parse()
 	exps := map[string]func(){
-		"EVAL":  evalThroughput,
-		"SPLIT": splitThroughput,
-		"E1":    func() { ngramSpeedup("E1 Wikipedia 2-grams (paper: 2.10x)", corpus.Wikipedia(*seed, *bytesN), 2) },
-		"E2":    func() { ngramSpeedup("E2 Wikipedia 3-grams (paper: 3.11x)", corpus.Wikipedia(*seed, *bytesN), 3) },
-		"E3":    func() { ngramSpeedup("E3 PubMed 2-grams    (paper: 1.90x)", corpus.PubMed(*seed, *bytesN), 2) },
-		"E4":    e4Reuters,
-		"E5":    e5Amazon,
-		"T1":    t1Containment,
-		"T2":    t2WeakDeterminism,
-		"T3":    t3Disjointness,
-		"T4":    t4Cover,
-		"T5":    t5SplitCorrect,
-		"T6":    t6CanonicalSize,
-		"T7":    t7Splittability,
-		"T8":    t8Reasoning,
+		"EVAL":   evalThroughput,
+		"SPLIT":  splitThroughput,
+		"READER": readerThroughput,
+		"E1":     func() { ngramSpeedup("E1 Wikipedia 2-grams (paper: 2.10x)", corpus.Wikipedia(*seed, *bytesN), 2) },
+		"E2":     func() { ngramSpeedup("E2 Wikipedia 3-grams (paper: 3.11x)", corpus.Wikipedia(*seed, *bytesN), 3) },
+		"E3":     func() { ngramSpeedup("E3 PubMed 2-grams    (paper: 1.90x)", corpus.PubMed(*seed, *bytesN), 2) },
+		"E4":     e4Reuters,
+		"E5":     e5Amazon,
+		"T1":     t1Containment,
+		"T2":     t2WeakDeterminism,
+		"T3":     t3Disjointness,
+		"T4":     t4Cover,
+		"T5":     t5SplitCorrect,
+		"T6":     t6CanonicalSize,
+		"T7":     t7Splittability,
+		"T8":     t8Reasoning,
 	}
-	order := []string{"EVAL", "SPLIT", "E1", "E2", "E3", "E4", "E5", "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8"}
+	order := []string{"EVAL", "SPLIT", "READER", "E1", "E2", "E3", "E4", "E5", "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8"}
 	if *expFlag == "all" {
 		for _, id := range order {
 			exps[id]()
@@ -226,6 +231,70 @@ func splitThroughput() {
 	}
 	results = append(results, engineStreamingResults(dense, measure)...)
 	writeSnapshot("SPLIT", results)
+}
+
+// readerThroughput is the PR 7 streamed-ingest snapshot: sequential
+// Eval as the roofline, the splitter alone in its three forms —
+// SplitReference (full evaluation + sort), Split (the compiled one-pass
+// scanner) and ScanFeed (the resumable scanner fed engine-sized chunks,
+// i.e. segmentation work as ExtractReader's producer sees it) — and the
+// engine's streamed/buffered reader paths. ScanFeed is verified
+// span-identical to SplitReference before timing.
+func readerThroughput() {
+	header("READER streamed-ingest throughput (MB/s)")
+	p := library.NegativeSentiment()
+	p.Prepare()
+	dense := strings.Join(corpus.Reviews(*seed, *bytesN/256), "\n")
+	s := library.Sentences()
+	chunkSize := 64 << 10
+
+	scanChunked := func() []span.Span {
+		r, ok := s.NewScanRun()
+		if !ok {
+			fmt.Fprintln(os.Stderr, "READER: sentence splitter has no compiled scanner")
+			os.Exit(1)
+		}
+		var spans []span.Span
+		for lo := 0; lo < len(dense); lo += chunkSize {
+			hi := lo + chunkSize
+			if hi > len(dense) {
+				hi = len(dense)
+			}
+			var chunkOK bool
+			spans, chunkOK = r.Feed([]byte(dense[lo:hi]), spans)
+			if !chunkOK {
+				fmt.Fprintln(os.Stderr, "READER: scanner bailed on the dense corpus")
+				os.Exit(1)
+			}
+		}
+		spans, ok = r.Flush(spans)
+		if !ok {
+			fmt.Fprintln(os.Stderr, "READER: scanner bailed at flush")
+			os.Exit(1)
+		}
+		return spans
+	}
+	want := s.SplitReference(dense)
+	got := scanChunked()
+	if len(got) != len(want) {
+		fmt.Fprintf(os.Stderr, "READER: chunked scan found %d spans, reference %d\n", len(got), len(want))
+		os.Exit(1)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			fmt.Fprintf(os.Stderr, "READER: chunked scan span %d = %v, reference %v\n", i, got[i], want[i])
+			os.Exit(1)
+		}
+	}
+
+	results := []perfResult{
+		measure("Eval", "dense", dense, func() int { return p.Eval(dense).Len() }),
+		measure("SplitReference", "dense", dense, func() int { return len(s.SplitReference(dense)) }),
+		measure("Split", "dense", dense, func() int { return len(s.Split(dense)) }),
+		measure("ScanFeed", "dense", dense, func() int { return len(scanChunked()) }),
+	}
+	results = append(results, engineStreamingResults(dense, measure)...)
+	writeSnapshot("READER", results)
 }
 
 // engineStreamingResults measures the engine's split evaluation of a

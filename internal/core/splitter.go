@@ -29,6 +29,11 @@ type Splitter struct {
 	// immutable once wrapped.
 	disjointOnce sync.Once
 	disjointVal  bool
+
+	// scanOnce memoizes the compiled splitter scanner (splitscan.go);
+	// scanVal stays nil for non-disjoint splitters.
+	scanOnce sync.Once
+	scanVal  *splitScanner
 }
 
 // NewSplitter wraps a unary automaton as a splitter.
@@ -61,8 +66,28 @@ func (s *Splitter) Automaton() *vsa.Automaton { return s.auto }
 // Var returns the splitter's variable name (x_S in the paper).
 func (s *Splitter) Var() string { return s.auto.Vars[0] }
 
-// Split returns the set of spans S(d), in document order.
+// Split returns the set of spans S(d), in document order. Disjoint
+// splitters run on the compiled one-pass scanner (splitscan.go); the
+// rest — and the rare documents on which the scanner bails — evaluate
+// through the full Eval path. Both produce byte-identical spans (the
+// scanner is fuzz-verified against SplitReference).
 func (s *Splitter) Split(doc string) []span.Span {
+	if sc := s.scanner(); sc != nil {
+		if out, ok := sc.scan(doc); ok {
+			if out == nil {
+				out = []span.Span{}
+			}
+			return out
+		}
+	}
+	return s.SplitReference(doc)
+}
+
+// SplitReference computes S(d) by full evaluation of the splitter
+// automaton plus a relation sort — the semantics Split is defined by,
+// retained as the fallback for non-disjoint splitters and as the
+// differential-testing oracle for the compiled scanner.
+func (s *Splitter) SplitReference(doc string) []span.Span {
 	rel := s.auto.Eval(doc)
 	rel.Sort()
 	out := make([]span.Span, rel.Len())

@@ -125,6 +125,9 @@ type Stats struct {
 	// nested merge/localize/sim stages as fractions of the same total
 	// (see StageStats.Share).
 	Stages map[string]StageStats `json:"stages"`
+	// Segmenter reports how streamed documents were segmented: resumable
+	// compiled-scanner feeds versus fallback re-scanned bytes and bails.
+	Segmenter SegmenterStats `json:"segmenter"`
 	// Executor reports the work-stealing executor's scheduling counters.
 	Executor ExecStats `json:"executor"`
 	// Localization reports the match-window localizer's effectiveness
@@ -262,7 +265,7 @@ func (e *Engine) ExtractReader(ctx context.Context, plan *Plan, r io.Reader) (*s
 	readErr := make(chan error, 1)
 	go func() {
 		defer close(batches)
-		g := newSegmenter(plan.s)
+		g := e.newDocSegmenter(plan)
 		chunk := make([]byte, e.cfg.ChunkSize)
 		var pending []parallel.Segment
 		// Segmentation time accumulates across the incremental feed/flush
@@ -302,10 +305,10 @@ func (e *Engine) ExtractReader(ctx context.Context, plan *Plan, r io.Reader) (*s
 					readErr <- ctx.Err()
 					return
 				}
-				if e.cfg.MaxDocBuffer > 0 && int64(len(g.buf)) > e.cfg.MaxDocBuffer {
+				if e.cfg.MaxDocBuffer > 0 && int64(g.buffered()) > e.cfg.MaxDocBuffer {
 					// The carry-over (one still-open segment) outgrew
 					// the budget — e.g. a boundary-less document.
-					readErr <- fmt.Errorf("%w (carry-over %d bytes > %d)", ErrDocTooLarge, len(g.buf), e.cfg.MaxDocBuffer)
+					readErr <- fmt.Errorf("%w (carry-over %d bytes > %d)", ErrDocTooLarge, g.buffered(), e.cfg.MaxDocBuffer)
 					return
 				}
 			}
@@ -380,6 +383,7 @@ func (e *Engine) Stats() Stats {
 		StreamForced: e.cfg.StreamIncremental,
 		PlanCache:    e.cache.stats(),
 		Stages:       e.m.stageStats(),
+		Segmenter:    e.m.segmenterStats(),
 		Executor:     e.m.execStats(e.cfg.Workers),
 		Localization: e.m.localizationStats(),
 	}

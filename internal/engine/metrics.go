@@ -66,6 +66,15 @@ type Metrics struct {
 	bytes        obs.Counter
 	segments     obs.Counter
 
+	// Streaming-segmenter counters. segResumed counts chunk feeds the
+	// compiled scanner consumed by resuming from saved DFA state (each
+	// byte scanned exactly once); segRescanned counts bytes the
+	// re-splitting fallback scanned more than once; segBails counts
+	// mid-document scanner bails that handed a stream to the fallback.
+	segResumed   obs.Counter
+	segRescanned obs.Counter
+	segBails     obs.Counter
+
 	stages [numStages]obs.Histogram // wall ns per request, by Stage
 
 	eval vsa.EvalMetrics
@@ -85,6 +94,9 @@ func newMetrics(e *Engine) *Metrics {
 	r.BindCounter("spanners_engine_documents_streamed_total", "documents segmented incrementally while streaming", &m.streamedDocs)
 	r.BindCounter("spanners_engine_bytes_total", "document bytes ingested", &m.bytes)
 	r.BindCounter("spanners_engine_segments_total", "segments dispatched to evaluation", &m.segments)
+	r.BindCounter("spanners_engine_segmenter_resumed_feeds_total", "chunk feeds consumed by the resumable compiled scanner", &m.segResumed)
+	r.BindCounter("spanners_engine_segmenter_rescanned_bytes_total", "bytes re-scanned by the re-splitting fallback segmenter", &m.segRescanned)
+	r.BindCounter("spanners_engine_segmenter_bails_total", "compiled-scanner bails to the fallback segmenter", &m.segBails)
 
 	for s := Stage(0); s < numStages; s++ {
 		r.BindDurationHistogram(`spanners_engine_stage_seconds{stage="`+s.String()+`"}`,
@@ -157,6 +169,17 @@ type StageStats struct {
 	P50MS float64 `json:"p50_ms,omitempty"`
 	P90MS float64 `json:"p90_ms,omitempty"`
 	P99MS float64 `json:"p99_ms,omitempty"`
+}
+
+// SegmenterStats is the /v1/stats view of the streaming segmenter: how
+// much of the segmentation ran on the resumable compiled scanner
+// (ResumedFeeds, every byte scanned once) versus the re-splitting
+// fallback (RescannedBytes, the extra work it pays), and how often a
+// scanner bailed mid-document (Bails).
+type SegmenterStats struct {
+	ResumedFeeds   uint64 `json:"resumed_feeds"`
+	RescannedBytes uint64 `json:"rescanned_bytes"`
+	Bails          uint64 `json:"bails"`
 }
 
 // ExecStats is the /v1/stats view of the work-stealing executor.
@@ -246,6 +269,14 @@ func (m *Metrics) execStats(workers int) ExecStats {
 		st.BusyShare = float64(m.exec.BusyNS.Load()) / (float64(run) * float64(workers))
 	}
 	return st
+}
+
+func (m *Metrics) segmenterStats() SegmenterStats {
+	return SegmenterStats{
+		ResumedFeeds:   m.segResumed.Load(),
+		RescannedBytes: m.segRescanned.Load(),
+		Bails:          m.segBails.Load(),
+	}
 }
 
 func (m *Metrics) localizationStats() LocalizationStats {

@@ -3,8 +3,10 @@ package engine
 import (
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/library"
 	"repro/internal/parallel"
+	"repro/internal/regexformula"
 )
 
 // collect runs the segmenter over doc in chunks of size n and returns
@@ -58,5 +60,93 @@ func TestSegmenterCarryKeepsBufferSmall(t *testing.T) {
 	}
 	if len(g.buf) > 64 {
 		t.Fatalf("buffer grew to %d bytes; carry-over is not trimming", len(g.buf))
+	}
+}
+
+// collectScan runs the scanner-backed segmenter over doc in chunks of
+// size n.
+func collectScan(t *testing.T, s *core.Splitter, doc string, n int) []parallel.Segment {
+	t.Helper()
+	g, ok := newScanSegmenter(s, nil)
+	if !ok {
+		t.Fatalf("splitter has no compiled scanner")
+	}
+	var out []parallel.Segment
+	for lo := 0; lo < len(doc); lo += n {
+		hi := lo + n
+		if hi > len(doc) {
+			hi = len(doc)
+		}
+		out = append(out, g.feed([]byte(doc[lo:hi]))...)
+	}
+	return append(out, g.flush()...)
+}
+
+func TestScanSegmenterMatchesOneShotSplit(t *testing.T) {
+	docs := []string{
+		"",
+		".",
+		"no terminator at all",
+		"one. two! three? four\nfive.",
+		"trailing terminator.",
+		"..!!..",
+		"a.b.c.d.e.f.g.h",
+	}
+	s := library.Sentences()
+	for _, doc := range docs {
+		want := parallel.SegmentsOf(doc, s.Split(doc))
+		for n := 1; n <= len(doc)+1; n++ {
+			got := collectScan(t, s, doc, n)
+			if len(got) != len(want) {
+				t.Fatalf("doc %q chunk %d: %d segments, want %d (%v vs %v)", doc, n, len(got), len(want), got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("doc %q chunk %d: segment %d = %+v, want %+v", doc, n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestScanSegmenterCarryKeepsBufferSmall(t *testing.T) {
+	g, ok := newScanSegmenter(library.Sentences(), nil)
+	if !ok {
+		t.Fatal("sentence splitter has no compiled scanner")
+	}
+	for i := 0; i < 100; i++ {
+		g.feed([]byte("a sentence here. "))
+	}
+	if g.buffered() > 64 {
+		t.Fatalf("buffer grew to %d bytes; anchor trimming is not working", g.buffered())
+	}
+	if g.fb != nil {
+		t.Fatal("sentence scanner bailed to the fallback segmenter")
+	}
+}
+
+func TestScanSegmenterBailFallsBackWithoutDuplicates(t *testing.T) {
+	// Blocks are valid only on documents ending in '!': the scanner can
+	// never commit a close mid-document, so it bails at the first
+	// separator and the fallback segmenter must take over from the
+	// anchor without duplicating or dropping segments.
+	auto := regexformula.MustCompile("(x{[^.!]*})(\\.[^.!]*)*!|[^.!]*(\\.[^.!]*)*\\.(x{[^.!]*})(\\.[^.!]*)*!")
+	s := core.MustSplitter(auto)
+	if _, ok := s.NewScanRun(); !ok {
+		t.Skip("splitter has no compiled scanner")
+	}
+	for _, doc := range []string{"ab.cd.ef!", "ab.cd", "!", "a.b.c.d.e!"} {
+		want := parallel.SegmentsOf(doc, s.SplitReference(doc))
+		for n := 1; n <= len(doc)+1; n++ {
+			got := collectScan(t, s, doc, n)
+			if len(got) != len(want) {
+				t.Fatalf("doc %q chunk %d: %d segments, want %d (%v vs %v)", doc, n, len(got), len(want), got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("doc %q chunk %d: segment %d = %+v, want %+v", doc, n, i, got[i], want[i])
+				}
+			}
+		}
 	}
 }

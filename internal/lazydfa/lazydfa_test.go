@@ -1,0 +1,196 @@
+package lazydfa
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// testNFA is a tiny nondeterministic automaton over classes {0, 1}
+// recognizing strings whose last two symbols are "0 1" (the classic
+// ..·0·1 pattern that forces genuine subset construction).
+type testNFA struct{}
+
+func (testNFA) succ(q int32, c uint8, emit func(int32)) {
+	// state 0: loops on everything, guesses the 0 before the final 1;
+	// state 1: saw the 0, wants a 1; state 2: accepting sink-less end.
+	switch q {
+	case 0:
+		emit(0)
+		if c == 0 {
+			emit(1)
+		}
+	case 1:
+		if c == 1 {
+			emit(2)
+		}
+	}
+}
+
+func newTestDFA(max int, payloads *int) *DFA[bool] {
+	return New(Config[bool]{
+		Classes:   2,
+		States:    3,
+		MaxStates: max,
+		Succ:      testNFA{}.succ,
+		Payload: func(set []int32) bool {
+			if payloads != nil {
+				*payloads++
+			}
+			for _, q := range set {
+				if q == 2 {
+					return true
+				}
+			}
+			return false
+		},
+	})
+}
+
+func runWalk(d *DFA[bool], start int32, input []uint8) bool {
+	w := d.Walk()
+	defer w.Release()
+	cur := start
+	for i, c := range input {
+		if i%3 == 2 {
+			w.Yield()
+		}
+		t := w.States[cur].Trans(c)
+		if t == Unknown {
+			t = w.Resolve(cur, c)
+		}
+		if t == Overflow {
+			panic("unexpected overflow")
+		}
+		cur = t
+	}
+	return w.States[cur].Payload
+}
+
+func refAccept(input []uint8) bool {
+	return len(input) >= 2 && input[len(input)-2] == 0 && input[len(input)-1] == 1
+}
+
+func TestWalkMatchesReference(t *testing.T) {
+	d := newTestDFA(0, nil)
+	start := d.Intern([]int32{0})
+	if start != 1 {
+		t.Fatalf("start interned as %d, want 1", start)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		input := make([]uint8, rng.Intn(12))
+		for i := range input {
+			input[i] = uint8(rng.Intn(2))
+		}
+		if got, want := runWalk(d, start, input), refAccept(input); got != want {
+			t.Fatalf("input %v: accept=%v, want %v", input, got, want)
+		}
+	}
+}
+
+func TestPayloadComputedOncePerState(t *testing.T) {
+	var payloads int
+	d := newTestDFA(0, &payloads)
+	start := d.Intern([]int32{0})
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		input := make([]uint8, rng.Intn(10))
+		for i := range input {
+			input[i] = uint8(rng.Intn(2))
+		}
+		runWalk(d, start, input)
+	}
+	if n := d.Len(); payloads != n {
+		t.Fatalf("payload ran %d times for %d states", payloads, n)
+	}
+	if d.Len() > 1<<3 {
+		t.Fatalf("subset construction of a 3-state NFA materialized %d states", d.Len())
+	}
+}
+
+func TestInternDeduplicatesAndEmptyIsDead(t *testing.T) {
+	d := newTestDFA(0, nil)
+	if got := d.Intern(nil); got != Dead {
+		t.Fatalf("Intern(∅) = %d, want Dead", got)
+	}
+	a := d.Intern([]int32{0, 2})
+	b := d.Intern([]int32{0, 2})
+	if a != b {
+		t.Fatalf("Intern not deduplicating: %d vs %d", a, b)
+	}
+}
+
+func TestDeadLoops(t *testing.T) {
+	d := newTestDFA(0, nil)
+	w := d.Walk()
+	defer w.Release()
+	for c := uint8(0); c < 2; c++ {
+		if t2 := w.States[Dead].Trans(c); t2 != Dead {
+			t.Fatalf("Dead.Trans(%d) = %d, want Dead", c, t2)
+		}
+	}
+}
+
+func TestOverflowSentinelIsCached(t *testing.T) {
+	d := newTestDFA(2, nil) // room for Dead + start only
+	start := d.Intern([]int32{0})
+	w := d.Walk()
+	defer w.Release()
+	if t2 := w.Resolve(start, 0); t2 != Overflow {
+		t.Fatalf("Resolve past bound = %d, want Overflow", t2)
+	}
+	if t2 := w.States[start].Trans(0); t2 != Overflow {
+		t.Fatalf("Overflow not cached: Trans = %d", t2)
+	}
+}
+
+func TestSeedInjection(t *testing.T) {
+	d := newTestDFA(0, nil)
+	seed := d.Seed([]int32{1})
+	empty := d.Seed(nil)
+	start := d.Intern([]int32{0})
+	w := d.Walk()
+	defer w.Release()
+	got := w.Inject(start, seed)
+	if got == Overflow || got == Dead {
+		t.Fatalf("Inject = %d", got)
+	}
+	wantSet := []int32{0, 1}
+	if s := w.States[got].Set; len(s) != 2 || s[0] != wantSet[0] || s[1] != wantSet[1] {
+		t.Fatalf("injected set = %v, want %v", s, wantSet)
+	}
+	if again := w.Inject(start, seed); again != got {
+		t.Fatalf("injection not cached: %d vs %d", again, got)
+	}
+	// Injecting an empty seed into Dead stays Dead.
+	if got := w.Inject(Dead, empty); got != Dead {
+		t.Fatalf("Inject(Dead, ∅) = %d, want Dead", got)
+	}
+}
+
+// TestConcurrentWalks exercises the RLock-walk/Lock-fill discipline
+// under the race detector: many goroutines warming one cache.
+func TestConcurrentWalks(t *testing.T) {
+	d := newTestDFA(0, nil)
+	start := d.Intern([]int32{0})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for trial := 0; trial < 300; trial++ {
+				input := make([]uint8, rng.Intn(16))
+				for i := range input {
+					input[i] = uint8(rng.Intn(2))
+				}
+				if got, want := runWalk(d, start, input), refAccept(input); got != want {
+					t.Errorf("input %v: accept=%v, want %v", input, got, want)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+}

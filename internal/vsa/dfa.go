@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/alphabet"
+	"repro/internal/lazydfa"
 )
 
 // This file implements the compiled evaluation core: a byte→equivalence-
@@ -15,6 +16,12 @@ import (
 // on many segments at once. The reference NFA simulations this replaces
 // are retained as EvalReference/EvalBoolReference in eval.go and
 // cross-checked by fuzzing.
+//
+// Determinization itself lives in internal/lazydfa — the interning,
+// overflow and locking machinery is shared with the forward scan DFA
+// (window.go), the backward narrowing DFA (reverse.go) and core's
+// compiled splitter scanner. This client's payload is a single bool:
+// whether the subset contains a final-bearing state.
 
 // progEdge is one compiled transition: perform ops at the current
 // boundary, then move to state to (the consumed byte is implied by the
@@ -40,55 +47,27 @@ type evalProg struct {
 	finals   [][]OpSet
 	hasFinal []bool
 	uni      []bool // suffix-universality, shared with the reference path
-	dfa      *lazyDFA
+	dfa      *lazydfa.DFA[bool]
 }
 
-// Sentinel DFA transition values. State 0 is the canonical dead state
-// (empty subset); state 1 is the start state.
+// Sentinel DFA transition values, aliased from internal/lazydfa. State 0
+// is the canonical dead state (empty subset); state 1 is the start state
+// (the first subset interned after construction). dfaOverflow marks a
+// transition whose target subset was not cached because the DFA hit
+// maxDFAStates; evaluation falls back to direct subset simulation from
+// there (sound, just slower) instead of letting an adversarial automaton
+// materialize 2^n states.
 const (
-	dfaDead    int32 = 0
-	dfaStart   int32 = 1
-	dfaUnknown int32 = -1
-	// dfaOverflow marks a transition whose target subset was not cached
-	// because the DFA hit maxDFAStates; evaluation falls back to direct
-	// subset simulation from there (sound, just slower) instead of letting
-	// an adversarial automaton materialize 2^n states.
-	dfaOverflow int32 = -2
+	dfaDead           = lazydfa.Dead
+	dfaStart    int32 = 1
+	dfaUnknown        = lazydfa.Unknown
+	dfaOverflow       = lazydfa.Overflow
 )
 
-// maxDFAStates bounds the lazily built DFA. Real extractors determinize to
-// a handful of subsets per byte class; the bound only matters for
-// adversarial inputs.
-const maxDFAStates = 1 << 12
-
-// dfaState is one subset-construction state.
-type dfaState struct {
-	set   []int32 // sorted member states of the underlying automaton
-	final bool    // some member accepts (has a final operation set)
-	trans []int32 // per byte class: successor id or a sentinel
-}
-
-// lazyDFA is the shared transition cache. Readers walk it under RLock;
-// a missing transition is filled in under the write lock and becomes
-// visible to every later evaluation of the same automaton — the
-// engine's plan cache keeps the automaton (and therefore this cache)
-// alive across requests.
-type lazyDFA struct {
-	mu     sync.RWMutex
-	states []dfaState
-	index  map[string]int32 // encoded subset → state id
-}
-
-func setKey(set []int32) string {
-	b := make([]byte, 4*len(set))
-	for i, q := range set {
-		b[4*i] = byte(q)
-		b[4*i+1] = byte(q >> 8)
-		b[4*i+2] = byte(q >> 16)
-		b[4*i+3] = byte(q >> 24)
-	}
-	return string(b)
-}
+// maxDFAStates bounds every lazily built DFA in this package. Real
+// extractors determinize to a handful of subsets per byte class; the
+// bound only matters for adversarial inputs.
+const maxDFAStates = lazydfa.DefaultMaxStates
 
 // prog returns the compiled evaluation program, building it on first use.
 // Building freezes the automaton: see AddEdge/AddFinal.
@@ -138,77 +117,26 @@ func (a *Automaton) buildProg() *evalProg {
 			}
 		}
 	}
-	d := &lazyDFA{index: make(map[string]int32, 16)}
-	dead := dfaState{trans: make([]int32, nc)} // all-zero: loops on itself
-	start := dfaState{
-		set:   []int32{int32(a.Start)},
-		final: p.hasFinal[a.Start],
-		trans: make([]int32, nc),
-	}
-	for c := range start.trans {
-		start.trans[c] = dfaUnknown
-	}
-	d.states = append(d.states, dead, start)
-	d.index[setKey(nil)] = dfaDead
-	d.index[setKey(start.set)] = dfaStart
-	p.dfa = d
+	p.dfa = lazydfa.New(lazydfa.Config[bool]{
+		Classes:   nc,
+		States:    n,
+		MaxStates: maxDFAStates,
+		Succ: func(q int32, c uint8, emit func(int32)) {
+			for _, e := range p.succ[int(q)*nc+int(c)] {
+				emit(e.to)
+			}
+		},
+		Payload: func(set []int32) bool {
+			for _, q := range set {
+				if p.hasFinal[q] {
+					return true
+				}
+			}
+			return false
+		},
+	})
+	p.dfa.Intern([]int32{int32(a.Start)}) // = dfaStart
 	return p
-}
-
-// dfaStep resolves the transition (from, class) under the write lock,
-// creating the successor subset state if needed. It returns the resolved
-// value, which is also cached (including the overflow sentinel, so a DFA
-// that hit the bound does not retry the construction on every byte).
-func (p *evalProg) dfaStep(from int32, class uint8) int32 {
-	d := p.dfa
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if t := d.states[from].trans[class]; t != dfaUnknown {
-		return t // resolved by a concurrent evaluation
-	}
-	succ := p.subsetSucc(d.states[from].set, class)
-	key := setKey(succ)
-	to, ok := d.index[key]
-	if !ok {
-		if len(d.states) >= maxDFAStates {
-			d.states[from].trans[class] = dfaOverflow
-			return dfaOverflow
-		}
-		st := dfaState{set: succ, trans: make([]int32, p.nclasses)}
-		for c := range st.trans {
-			st.trans[c] = dfaUnknown
-		}
-		for _, q := range succ {
-			if p.hasFinal[q] {
-				st.final = true
-				break
-			}
-		}
-		to = int32(len(d.states))
-		d.states = append(d.states, st)
-		d.index[key] = to
-	}
-	d.states[from].trans[class] = to
-	return to
-}
-
-// subsetSucc computes the sorted successor subset of set on class.
-func (p *evalProg) subsetSucc(set []int32, class uint8) []int32 {
-	var mark []bool
-	var out []int32
-	for _, q := range set {
-		for _, e := range p.succ[int(q)*p.nclasses+int(class)] {
-			if mark == nil {
-				mark = make([]bool, p.nstates)
-			}
-			if !mark[e.to] {
-				mark[e.to] = true
-				out = append(out, e.to)
-			}
-		}
-	}
-	sortInt32s(out)
-	return out
 }
 
 // EvalBool reports whether the Boolean semantics of a accepts the
@@ -220,39 +148,35 @@ func (p *evalProg) subsetSucc(set []int32, class uint8) []int32 {
 // document runs on a direct subset simulation.
 func (a *Automaton) EvalBool(doc string) bool {
 	// rlockChunk bounds how long one scan holds the read lock: a pending
-	// writer (a dfaStep from another goroutine) blocks new RLock
-	// acquisitions, so releasing periodically keeps one long document from
+	// writer (a Resolve from another goroutine) blocks new RLock
+	// acquisitions, so yielding periodically keeps one long document from
 	// serializing the whole worker pool behind a warm-up miss.
 	const rlockChunk = 1 << 12
 	p := a.prog()
-	d := p.dfa
+	w := p.dfa.Walk()
 	cur := dfaStart
-	d.mu.RLock()
 	for i := 0; i < len(doc); i++ {
 		if i&(rlockChunk-1) == rlockChunk-1 {
-			d.mu.RUnlock()
-			d.mu.RLock()
+			w.Yield()
 		}
 		c := p.classOf[doc[i]]
-		t := d.states[cur].trans[c]
+		t := w.States[cur].Trans(c)
 		if t == dfaUnknown {
-			d.mu.RUnlock()
-			t = p.dfaStep(cur, c)
-			d.mu.RLock()
+			t = w.Resolve(cur, c)
 		}
 		if t == dfaDead {
-			d.mu.RUnlock()
+			w.Release()
 			return false
 		}
 		if t == dfaOverflow {
-			set := append([]int32(nil), d.states[cur].set...)
-			d.mu.RUnlock()
+			set := append([]int32(nil), w.States[cur].Set...)
+			w.Release()
 			return p.simBool(set, doc[i:])
 		}
 		cur = t
 	}
-	final := d.states[cur].final
-	d.mu.RUnlock()
+	final := w.States[cur].Payload
+	w.Release()
 	return final
 }
 

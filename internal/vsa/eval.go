@@ -48,6 +48,15 @@ func (a *Automaton) suffixUniversality() []bool {
 	return a.suffixUni
 }
 
+// SuffixUniversal exposes the per-state suffix-universality vector to
+// other packages (core's compiled splitter scanner uses it as its
+// committed-emission test: a close into a suffix-universal state is in
+// the output regardless of what the rest of the stream brings). The
+// analysis is sound but bounded — it may report false for a state that
+// is in fact universal, never the reverse — and callers must treat the
+// returned slice as read-only. Calling it freezes the automaton.
+func (a *Automaton) SuffixUniversal() []bool { return a.suffixUniversality() }
+
 func (a *Automaton) computeSuffixUniversality() []bool {
 	// The zero-ops sub-NFA: per state, edges with no variable operations;
 	// finals are states accepting with the empty final set.

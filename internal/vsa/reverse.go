@@ -4,16 +4,27 @@ package vsa
 // window localizer (window.go): the automaton's core — everything between
 // the first variable operation of a run and its emission — is stripped of
 // operations, reversed with automata.Reverse over the byte-class alphabet
-// of the compiled evaluation program, and compiled into the same
-// per-(state, class) transition lists plus lazily determinized DFA shape
-// as the forward machinery in dfa.go, so both directions share one
-// construction idiom and one locking discipline.
+// of the compiled evaluation program, and determinized by the same
+// internal/lazydfa engine as the forward machinery in dfa.go, so both
+// directions share one construction idiom and one locking discipline.
+// This client's payload is the per-class core-start flag vector of the
+// subset, and it is the one client that uses seed injection: candidate
+// match ends merge emit-state (or final-bearing) seeds into an already-
+// walking frontier through Walker.Inject.
 
 import (
-	"sync"
-
 	"repro/internal/automata"
+	"repro/internal/lazydfa"
 )
+
+// revPayload is the backward DFA's per-state payload: start[c] reports
+// that some subset member has an incoming forward core-entry edge on
+// class c (an edge with operations leaving a status-0 state), i.e. a
+// match core can begin at the boundary the backward walk is about to
+// cross.
+type revPayload struct {
+	start []bool
+}
 
 // revProg is the compiled backward program. succ holds the reversed core
 // adjacency: succ[v*nclasses+c] lists the states u with a kept forward
@@ -37,35 +48,17 @@ type revProg struct {
 	nclasses  int
 	succ      [][]int32
 	startPred []bool
-	// endSeed holds the emit states: the backward frontier seeds at a
-	// candidate match end. finSeed holds the status≠0 states with final
-	// operation sets: the seeds at the document-end boundary.
-	endSeed []int32
-	finSeed []int32
+	// seedEnd is the registered seed of the emit states: the backward
+	// frontier seeds at a candidate match end. seedFin is the seed of the
+	// status≠0 states with final operation sets: injected at the
+	// document-end boundary.
+	seedEnd int
+	seedFin int
 	// finSeedHasStart reports a status-0 state with final operation sets:
 	// a match core can live entirely in the final boundary's operations,
 	// so the document end itself is a core start.
 	finSeedHasStart bool
-	dfa             *revDFA
-}
-
-type revState struct {
-	set   []int32
-	trans []int32
-	start []bool // per class: a core start is crossed by this transition
-	// injEnd/injFin cache the subset-union states produced by injecting
-	// the end/finals seed into this state's subset (dfaUnknown until
-	// built), so dense candidate-end runs re-enter cached DFA states.
-	injEnd int32
-	injFin int32
-}
-
-// revDFA is the shared backward transition cache, locked like the
-// forward lazyDFA.
-type revDFA struct {
-	mu     sync.RWMutex
-	states []revState
-	index  map[string]int32
+	dfa             *lazydfa.DFA[revPayload]
 }
 
 func buildRevProg(p *evalProg, a *Automaton, st []Status, end []bool) *revProg {
@@ -108,135 +101,40 @@ func buildRevProg(p *evalProg, a *Automaton, st []Status, end []bool) *revProg {
 			r.succ[v*nc+e.Sym] = append(r.succ[v*nc+e.Sym], int32(e.To))
 		}
 	}
+	var endSeed, finSeed []int32
 	for q := 0; q < n; q++ {
 		switch {
 		case end[q]:
-			r.endSeed = append(r.endSeed, int32(q))
+			endSeed = append(endSeed, int32(q))
 		case p.hasFinal[q] && st[q] == 0:
 			r.finSeedHasStart = true
 		case p.hasFinal[q]:
-			r.finSeed = append(r.finSeed, int32(q))
+			finSeed = append(finSeed, int32(q))
 		}
 	}
-	d := &revDFA{index: map[string]int32{setKey(nil): dfaDead}}
-	deadSt := revState{
-		trans:  make([]int32, nc), // all-zero: loops on itself
-		start:  make([]bool, nc),
-		injEnd: dfaUnknown,
-		injFin: dfaUnknown,
-	}
-	d.states = append(d.states, deadSt)
-	r.dfa = d
+	r.dfa = lazydfa.New(lazydfa.Config[revPayload]{
+		Classes:   nc,
+		States:    n,
+		MaxStates: maxDFAStates,
+		Succ: func(q int32, c uint8, emit func(int32)) {
+			for _, u := range r.succ[int(q)*nc+int(c)] {
+				emit(u)
+			}
+		},
+		Payload: func(set []int32) revPayload {
+			start := make([]bool, nc)
+			for c := 0; c < nc; c++ {
+				for _, v := range set {
+					if r.startPred[int(v)*nc+c] {
+						start[c] = true
+						break
+					}
+				}
+			}
+			return revPayload{start: start}
+		},
+	})
+	r.seedEnd = r.dfa.Seed(endSeed)
+	r.seedFin = r.dfa.Seed(finSeed)
 	return r
-}
-
-// intern returns the DFA state of a sorted subset, creating it if needed.
-// Callers hold the write lock. Returns dfaOverflow at the state bound.
-func (r *revProg) intern(set []int32) int32 {
-	d := r.dfa
-	key := setKey(set)
-	if to, ok := d.index[key]; ok {
-		return to
-	}
-	if len(d.states) >= maxDFAStates {
-		return dfaOverflow
-	}
-	st := revState{
-		set:    set,
-		trans:  make([]int32, r.nclasses),
-		start:  make([]bool, r.nclasses),
-		injEnd: dfaUnknown,
-		injFin: dfaUnknown,
-	}
-	for c := range st.trans {
-		st.trans[c] = dfaUnknown
-	}
-	to := int32(len(d.states))
-	d.states = append(d.states, st)
-	d.index[key] = to
-	return to
-}
-
-// resolve computes and caches the backward transition (from, class) and
-// its core-start flag under the write lock.
-func (r *revProg) resolve(from int32, class uint8) int32 {
-	d := r.dfa
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if t := d.states[from].trans[class]; t != dfaUnknown {
-		return t // resolved by a concurrent evaluation
-	}
-	var mark []bool
-	var succ []int32
-	hit := false
-	for _, v := range d.states[from].set {
-		idx := int(v)*r.nclasses + int(class)
-		if r.startPred[idx] {
-			hit = true
-		}
-		for _, u := range r.succ[idx] {
-			if mark == nil {
-				mark = make([]bool, r.nstates)
-			}
-			if !mark[u] {
-				mark[u] = true
-				succ = append(succ, u)
-			}
-		}
-	}
-	sortInt32s(succ)
-	to := r.intern(succ)
-	d.states[from].trans[class] = to
-	d.states[from].start[class] = hit
-	return to
-}
-
-// inject returns the DFA state for subset(from) ∪ seed — the frontier
-// after a candidate end (fin: the document-end finals boundary) is merged
-// into an already-walking frontier. The result is cached per state; ok is
-// false on state-bound overflow.
-func (r *revProg) inject(from int32, fin bool) (int32, bool) {
-	d := r.dfa
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	cached := d.states[from].injEnd
-	seed := r.endSeed
-	if fin {
-		cached = d.states[from].injFin
-		seed = r.finSeed
-	}
-	if cached != dfaUnknown {
-		return cached, cached != dfaOverflow
-	}
-	to := r.intern(mergeSortedInt32s(d.states[from].set, seed))
-	if fin {
-		d.states[from].injFin = to
-	} else {
-		d.states[from].injEnd = to
-	}
-	return to, to != dfaOverflow
-}
-
-// mergeSortedInt32s merges two sorted, duplicate-free slices into a fresh
-// sorted, duplicate-free slice.
-func mergeSortedInt32s(a, b []int32) []int32 {
-	out := make([]int32, 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			out = append(out, a[i])
-			i++
-		case a[i] > b[j]:
-			out = append(out, b[j])
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
-		}
-	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
-	return out
 }

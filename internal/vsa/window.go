@@ -36,6 +36,8 @@ package vsa
 
 import (
 	"sync"
+
+	"repro/internal/lazydfa"
 )
 
 // checkpointStride is the boundary spacing of forward-scan DFA state
@@ -117,30 +119,16 @@ const (
 // scanProg is the forward end-detection program: the automaton with
 // variable operations stripped and emit states truncated (their outgoing
 // edges removed, mirroring evaluation's emit-and-drop), compiled into
-// per-(state, class) successor lists plus a lazily determinized DFA whose
-// states carry the end/finals flags of their subsets.
+// per-(state, class) successor lists plus a lazily determinized DFA
+// (internal/lazydfa) whose per-state payload is the end/finals flag byte
+// of the subset.
 type scanProg struct {
 	nstates  int
 	nclasses int
 	succ     [][]int32 // per state*nclasses: deduplicated successors
 	end      []bool
 	hasFinal []bool
-	dfa      *scanDFA
-}
-
-type scanState struct {
-	set   []int32
-	flags uint8
-	trans []int32
-}
-
-// scanDFA is the shared forward-scan transition cache, locked like
-// evalProg's lazyDFA: readers under RLock, misses filled under the write
-// lock and shared with every later evaluation of the same automaton.
-type scanDFA struct {
-	mu     sync.RWMutex
-	states []scanState
-	index  map[string]int32
+	dfa      *lazydfa.DFA[uint8]
 }
 
 func buildScanProg(p *evalProg, start int, end []bool) *scanProg {
@@ -171,17 +159,18 @@ func buildScanProg(p *evalProg, start int, end []bool) *scanProg {
 			s.succ[q*nc+c] = out
 		}
 	}
-	d := &scanDFA{index: make(map[string]int32, 16)}
-	deadSt := scanState{trans: make([]int32, nc)} // all-zero: loops on itself
-	startSet := []int32{int32(start)}
-	st := scanState{set: startSet, flags: s.flagsOf(startSet), trans: make([]int32, nc)}
-	for c := range st.trans {
-		st.trans[c] = dfaUnknown
-	}
-	d.states = append(d.states, deadSt, st)
-	d.index[setKey(nil)] = dfaDead
-	d.index[setKey(startSet)] = dfaStart
-	s.dfa = d
+	s.dfa = lazydfa.New(lazydfa.Config[uint8]{
+		Classes:   nc,
+		States:    n,
+		MaxStates: maxDFAStates,
+		Succ: func(q int32, c uint8, emit func(int32)) {
+			for _, to := range s.succ[int(q)*nc+int(c)] {
+				emit(to)
+			}
+		},
+		Payload: s.flagsOf,
+	})
+	s.dfa.Intern([]int32{int32(start)}) // = dfaStart
 	return s
 }
 
@@ -198,48 +187,6 @@ func (s *scanProg) flagsOf(set []int32) uint8 {
 	return f
 }
 
-// step resolves the scan transition (from, class) under the write lock,
-// mirroring evalProg.dfaStep.
-func (s *scanProg) step(from int32, class uint8) int32 {
-	d := s.dfa
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if t := d.states[from].trans[class]; t != dfaUnknown {
-		return t // resolved by a concurrent evaluation
-	}
-	var mark []bool
-	var succ []int32
-	for _, q := range d.states[from].set {
-		for _, to := range s.succ[int(q)*s.nclasses+int(class)] {
-			if mark == nil {
-				mark = make([]bool, s.nstates)
-			}
-			if !mark[to] {
-				mark[to] = true
-				succ = append(succ, to)
-			}
-		}
-	}
-	sortInt32s(succ)
-	key := setKey(succ)
-	to, ok := d.index[key]
-	if !ok {
-		if len(d.states) >= maxDFAStates {
-			d.states[from].trans[class] = dfaOverflow
-			return dfaOverflow
-		}
-		st := scanState{set: succ, flags: s.flagsOf(succ), trans: make([]int32, s.nclasses)}
-		for c := range st.trans {
-			st.trans[c] = dfaUnknown
-		}
-		to = int32(len(d.states))
-		d.states = append(d.states, st)
-		d.index[key] = to
-	}
-	d.states[from].trans[class] = to
-	return to
-}
-
 // forward runs the end-detection pass: one truncated-DFA lookup per byte.
 // It records candidate match-end boundaries (as [lo, hi) runs), DFA state
 // checkpoints every checkpointStride boundaries, and whether the document
@@ -249,32 +196,28 @@ func (s *scanProg) step(from int32, class uint8) int32 {
 // later boundary can complete a match.
 func (s *scanProg) forward(p *evalProg, doc string, ws *windowScratch) bool {
 	const rlockChunk = 1 << 12
-	d := s.dfa
+	w := s.dfa.Walk()
 	cur := dfaStart
 	ws.checkpoints = append(ws.checkpoints[:0], dfaStart)
 	ws.ends = ws.ends[:0]
 	ws.finalsAtEnd = false
-	d.mu.RLock()
 	for i := 0; i < len(doc); i++ {
 		if i&(rlockChunk-1) == rlockChunk-1 {
 			// Let pending writers in periodically; see EvalBool.
-			d.mu.RUnlock()
-			d.mu.RLock()
+			w.Yield()
 		}
 		c := p.classOf[doc[i]]
-		t := d.states[cur].trans[c]
+		t := w.States[cur].Trans(c)
 		if t <= dfaDead { // rare: unresolved, overflowed or dead
 			if t == dfaUnknown {
-				d.mu.RUnlock()
-				t = s.step(cur, c)
-				d.mu.RLock()
+				t = w.Resolve(cur, c)
 			}
 			if t == dfaOverflow {
-				d.mu.RUnlock()
+				w.Release()
 				return false
 			}
 			if t == dfaDead {
-				d.mu.RUnlock()
+				w.Release()
 				return true
 			}
 		}
@@ -283,7 +226,7 @@ func (s *scanProg) forward(p *evalProg, doc string, ws *windowScratch) bool {
 		if b&(checkpointStride-1) == 0 {
 			ws.checkpoints = append(ws.checkpoints, cur)
 		}
-		if d.states[cur].flags&scanFlagEnd != 0 {
+		if w.States[cur].Payload&scanFlagEnd != 0 {
 			if n := len(ws.ends); n > 0 && ws.ends[n-1] == int32(b) {
 				ws.ends[n-1] = int32(b + 1)
 			} else {
@@ -291,8 +234,8 @@ func (s *scanProg) forward(p *evalProg, doc string, ws *windowScratch) bool {
 			}
 		}
 	}
-	ws.finalsAtEnd = d.states[cur].flags&scanFlagFinals != 0
-	d.mu.RUnlock()
+	ws.finalsAtEnd = w.States[cur].Payload&scanFlagFinals != 0
+	w.Release()
 	return true
 }
 
@@ -302,19 +245,16 @@ func (s *scanProg) forward(p *evalProg, doc string, ws *windowScratch) bool {
 // DFA from the nearest checkpoint. The result aliases ws.seed.
 func (loc *localizer) seedAt(p *evalProg, doc string, lo int, ws *windowScratch) []int32 {
 	s := loc.scan
-	d := s.dfa
 	k := lo / checkpointStride
 	cur := ws.checkpoints[k]
-	d.mu.RLock()
+	w := s.dfa.Walk()
 	for i := k * checkpointStride; i < lo; i++ {
 		c := p.classOf[doc[i]]
-		t := d.states[cur].trans[c]
+		t := w.States[cur].Trans(c)
 		if t == dfaUnknown {
 			// The forward pass resolved every transition on this path;
 			// only a concurrent rebuild could leave a gap. Resolve again.
-			d.mu.RUnlock()
-			t = s.step(cur, c)
-			d.mu.RLock()
+			t = w.Resolve(cur, c)
 		}
 		if t == dfaDead || t == dfaOverflow {
 			cur = dfaDead
@@ -323,12 +263,12 @@ func (loc *localizer) seedAt(p *evalProg, doc string, lo int, ws *windowScratch)
 		cur = t
 	}
 	ws.seed = ws.seed[:0]
-	for _, q := range d.states[cur].set {
+	for _, q := range w.States[cur].Set {
 		if loc.status[q] == 0 {
 			ws.seed = append(ws.seed, q)
 		}
 	}
-	d.mu.RUnlock()
+	w.Release()
 	return ws.seed
 }
 
@@ -343,7 +283,6 @@ func (loc *localizer) seedAt(p *evalProg, doc string, lo int, ws *windowScratch)
 // returns false if the backward DFA overflowed its state bound.
 func (loc *localizer) narrow(p *evalProg, doc string, ws *windowScratch) bool {
 	r := loc.rev
-	d := r.dfa
 	ws.windows = ws.windows[:0]
 	activeTop, sMin := -1, -1
 	cur := dfaDead
@@ -356,28 +295,25 @@ func (loc *localizer) narrow(p *evalProg, doc string, ws *windowScratch) bool {
 		}
 		activeTop, sMin = -1, -1
 	}
-	d.mu.RLock()
+	w := r.dfa.Walk()
 	// stepDown consumes doc[b-1], moving the frontier one boundary left
-	// and recording core starts flagged on the transition.
+	// and recording core starts flagged on the source state.
 	stepDown := func() {
 		b--
 		c := p.classOf[doc[b]]
 		if steps++; steps&4095 == 0 {
-			d.mu.RUnlock()
-			d.mu.RLock()
+			w.Yield()
 		}
-		t := d.states[cur].trans[c]
+		t := w.States[cur].Trans(c)
 		if t == dfaUnknown {
-			d.mu.RUnlock()
-			t = r.resolve(cur, c)
-			d.mu.RLock()
+			t = w.Resolve(cur, c)
 		}
 		if t == dfaOverflow {
 			overflow = true
 			cur = dfaDead
 			return
 		}
-		if d.states[cur].start[c] {
+		if w.States[cur].Payload.start[c] {
 			sMin = b
 		}
 		cur = t
@@ -397,20 +333,12 @@ func (loc *localizer) narrow(p *evalProg, doc string, ws *windowScratch) bool {
 		}
 		// Cached injections resolve under the read lock already held; the
 		// write-locked path runs once per (state, seed) pair.
-		to := d.states[cur].injFin
+		seed := r.seedFin
 		if !fin {
-			to = d.states[cur].injEnd
+			seed = r.seedEnd
 		}
-		if to == dfaUnknown {
-			d.mu.RUnlock()
-			var ok bool
-			to, ok = r.inject(cur, fin)
-			d.mu.RLock()
-			if !ok {
-				overflow = true
-				return
-			}
-		} else if to == dfaOverflow {
+		to := w.Inject(cur, seed)
+		if to == dfaOverflow {
 			overflow = true
 			return
 		}
@@ -433,7 +361,7 @@ func (loc *localizer) narrow(p *evalProg, doc string, ws *windowScratch) bool {
 	for cur != dfaDead && b > 0 && !overflow {
 		stepDown()
 	}
-	d.mu.RUnlock()
+	w.Release()
 	if overflow {
 		return false
 	}
