@@ -30,6 +30,21 @@
 //	GET  /metrics      the same instrumentation in the Prometheus text
 //	                   exposition format, for scraping.
 //
+// The daemon is overload-safe. /v1/extract and /v1/check sit behind a
+// token limiter (-admit tokens, a bounded FIFO wait queue of
+// -admit-queue entries, at most -admit-wait of queueing); an arrival
+// past those bounds is shed with 429 + Retry-After instead of queueing
+// invisibly. -deadline bounds each admitted request end to end (queue
+// wait, planning, segmentation, evaluation → 504), -read-timeout
+// bounds upload progress (stalled body → 408), -max-doc bounds
+// buffered document memory (→ 413), and -req-workers caps how much of
+// the evaluation pool one request may occupy. /v1/stats and /metrics
+// stay un-gated so the daemon remains observable while saturated. On
+// SIGTERM or SIGINT the daemon stops accepting, gives in-flight
+// requests -drain to finish, then cancels the stragglers' contexts —
+// an admitted request always gets either its result or an explicit
+// error.
+//
 // A successful extraction responds with the plan section — strategy,
 // verdicts, cache_hit, plan_compile_ms — plus ingest ("inline",
 // "streamed" or "buffered"), vars, count and the tuples as arrays of
@@ -54,52 +69,155 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/engine"
 )
+
+// daemon bundles a configured HTTP server with the hooks the drain
+// state machine needs: the cancel function behind every request's
+// BaseContext, and the drain deadline. Factored out of main so the
+// drain path is testable without a process and a real SIGTERM.
+type daemon struct {
+	srv        *http.Server
+	eng        *engine.Engine
+	cancelBase context.CancelFunc
+	drain      time.Duration
+}
+
+// newDaemon wires an engine, an optional limiter and the serving policy
+// into a drainable HTTP server.
+func newDaemon(addr string, eng *engine.Engine, cfg serverConfig, drain time.Duration) *daemon {
+	base, cancel := context.WithCancel(context.Background())
+	return &daemon{
+		srv: &http.Server{
+			Addr:              addr,
+			Handler:           newServerWith(eng, cfg),
+			ReadHeaderTimeout: 10 * time.Second,
+			BaseContext:       func(net.Listener) context.Context { return base },
+		},
+		eng:        eng,
+		cancelBase: cancel,
+		drain:      drain,
+	}
+}
+
+// shutdown runs the graceful-drain state machine:
+//
+//  1. draining — stop accepting new connections; in-flight requests run
+//     to completion under the drain deadline. The admission queue
+//     drains naturally: queued requests still get tokens as in-flight
+//     ones release them.
+//  2. cancelling — requests still running when the deadline fires have
+//     their contexts cancelled (via BaseContext) and the server closes.
+//     They observe context.Canceled and unwind through the normal typed
+//     error paths.
+//
+// An admitted request is therefore never silently dropped: it either
+// finishes inside the drain window or gets an explicit error response.
+func (d *daemon) shutdown() error {
+	ctx, cancel := context.WithTimeout(context.Background(), d.drain)
+	defer cancel()
+	err := d.srv.Shutdown(ctx)
+	if err == nil {
+		d.cancelBase() // nothing in flight; tidy up the base context
+		return nil
+	}
+	// Drain deadline exceeded: cancel every in-flight request's context
+	// and tear the connections down.
+	d.cancelBase()
+	closeErr := d.srv.Close()
+	if closeErr != nil && !errors.Is(closeErr, http.ErrServerClosed) {
+		return closeErr
+	}
+	return err
+}
 
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
 		workers   = flag.Int("workers", 0, "evaluation workers (0 = GOMAXPROCS)")
+		reqWork   = flag.Int("req-workers", 0, "executor workers any one request may use (0 = auto: ceil(2*workers/admit), so concurrent requests share the pool fairly; negative = uncapped)")
 		batch     = flag.Int("batch", 16, "segments per worker task")
-		cacheSize = flag.Int("cache", 128, "plan cache capacity")
+		cacheSize = flag.Int("cache", 128, "plan cache capacity (entries, all tenants)")
+		cacheMB   = flag.Int64("cache-bytes", 0, "plan cache budget in bytes of estimated plan cost (0 = 64 MiB, negative = unlimited)")
+		tenPlans  = flag.Int("tenant-plans", 0, "per-tenant plan cache entry quota (0 = no carve-up)")
+		tenBytes  = flag.Int64("tenant-plan-bytes", 0, "per-tenant plan cache byte quota (0 = no carve-up)")
+		tenHdr    = flag.String("tenant-header", "X-Tenant", "HTTP header carrying the tenant key for cache quotas (empty disables tenant attribution)")
 		chunk     = flag.Int("chunk", 64<<10, "streaming read size in bytes")
 		limit     = flag.Int("limit", 0, "decision-procedure state limit (0 = library default)")
-		timeout   = flag.Duration("timeout", 0, "per-request timeout (0 = none)")
+		deadline  = flag.Duration("deadline", 0, "per-request deadline covering queue wait, planning and evaluation; exceeding it answers 504 (0 = none)")
+		readTmo   = flag.Duration("read-timeout", 30*time.Second, "read-progress timeout on streamed documents; a stalled upload answers 408 (0 = none)")
+		admit     = flag.Int("admit", 0, "concurrent requests admitted to /v1/extract and /v1/check (0 = GOMAXPROCS; negative disables admission control)")
+		admitQ    = flag.Int("admit-queue", 0, "admission wait-queue capacity; arrivals beyond it answer 429 (0 = 4*admit, negative = no queue)")
+		admitWait = flag.Duration("admit-wait", 500*time.Millisecond, "max time a request may wait for admission before a 429")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-drain budget on SIGTERM: in-flight requests get this long to finish before their contexts are cancelled")
 		streamInc = flag.Bool("stream-incremental", false, "UNSAFE: force incremental segmentation for split plans whose splitter the locality decision procedure could not prove local (those proven local stream automatically); asserts every deployed splitter is local anyway — a wrong assertion silently mis-extracts")
 		maxDoc    = flag.Int64("max-doc", 0, "per-document memory budget in bytes (0 = 256 MiB, negative = unlimited)")
 	)
 	flag.Parse()
 
+	var lim *admission.Limiter
+	tokens := *admit
+	if tokens == 0 {
+		tokens = runtime.GOMAXPROCS(0)
+	}
+	if *admit >= 0 {
+		lim = admission.New(admission.Config{Tokens: tokens, Queue: *admitQ, MaxWait: *admitWait})
+	}
+	nWorkers := *workers
+	if nWorkers <= 0 {
+		nWorkers = runtime.GOMAXPROCS(0)
+	}
+	requestWorkers := *reqWork
+	if requestWorkers == 0 && lim != nil {
+		// With T requests executing concurrently, give each a budget of
+		// ceil(2W/T): enough spare to soak up idle cores when the daemon
+		// is quiet, small enough that one huge document cannot starve the
+		// other admitted requests.
+		requestWorkers = (2*nWorkers + tokens - 1) / tokens
+	}
+	if requestWorkers < 0 {
+		requestWorkers = 0 // uncapped: engine default (= Workers)
+	}
+
 	eng := engine.New(engine.Config{
 		PlanCache:         *cacheSize,
-		Workers:           *workers,
+		PlanCacheBytes:    *cacheMB,
+		TenantPlans:       *tenPlans,
+		TenantPlanBytes:   *tenBytes,
+		Workers:           nWorkers,
+		RequestWorkers:    requestWorkers,
 		Batch:             *batch,
 		ChunkSize:         *chunk,
 		StateLimit:        *limit,
 		StreamIncremental: *streamInc,
 		MaxDocBuffer:      *maxDoc,
+		ReadTimeout:       *readTmo,
 	})
-	handler := newServer(eng)
-	if *timeout > 0 {
-		handler = http.TimeoutHandler(handler, *timeout, `{"error":"request timed out"}`)
-	}
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           handler,
-		ReadHeaderTimeout: 10 * time.Second,
-	}
+	d := newDaemon(*addr, eng, serverConfig{
+		limiter:      lim,
+		deadline:     *deadline,
+		tenantHeader: *tenHdr,
+	}, *drain)
 
 	go func() {
-		log.Printf("spand: listening on %s (workers=%d batch=%d cache=%d)",
-			*addr, eng.Stats().Workers, *batch, *cacheSize)
-		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		st := eng.Stats()
+		if lim != nil {
+			log.Printf("spand: listening on %s (workers=%d req-workers=%d admit=%d queue=%d batch=%d cache=%d)",
+				*addr, st.Workers, st.RequestWorkers, lim.Tokens(), lim.QueueCap(), *batch, *cacheSize)
+		} else {
+			log.Printf("spand: listening on %s (workers=%d batch=%d cache=%d, admission disabled)",
+				*addr, st.Workers, *batch, *cacheSize)
+		}
+		if err := d.srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatalf("spand: %v", err)
 		}
 	}()
@@ -107,11 +225,9 @@ func main() {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	log.Print("spand: shutting down")
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("spand: shutdown: %v", err)
+	log.Printf("spand: draining (budget %s)", *drain)
+	if err := d.shutdown(); err != nil {
+		log.Printf("spand: drain: %v", err)
 	}
 	st := eng.Stats()
 	log.Printf("spand: served %d documents, %d bytes, %d segments; cache hit rate %.2f",

@@ -53,6 +53,10 @@ func (w *statusWriter) WriteHeader(status int) {
 	w.ResponseWriter.WriteHeader(status)
 }
 
+// Unwrap lets http.ResponseController reach the underlying writer for
+// Flush/EnableFullDuplex on the streamed multipart response path.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // wrap instruments a handler for one endpoint: in-flight gauge around
 // the call, a latency observation and an error count after it.
 func (m *httpMetrics) wrap(endpoint string, h http.HandlerFunc) http.HandlerFunc {

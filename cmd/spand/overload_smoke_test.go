@@ -1,0 +1,67 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/engine"
+	"repro/internal/loadgen"
+)
+
+// TestOverloadSmoke runs the overload harness against an in-process
+// daemon whose admission capacity is deliberately tiny, so the open
+// loop is guaranteed to offer more than the daemon admits. It is the
+// CI smoke for the OVERLOAD experiment: the snapshot must come back
+// with the declared schema, overload must produce sheds, and every
+// shed must honor the 429 + Retry-After contract with no other errors.
+func TestOverloadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overload smoke skipped in -short")
+	}
+	eng := engine.New(engine.Config{Workers: 4, RequestWorkers: 2})
+	lim := admission.New(admission.Config{Tokens: 2, Queue: 2, MaxWait: 20 * time.Millisecond})
+	ts := httptest.NewServer(newServerWith(eng, serverConfig{limiter: lim, tenantHeader: "X-Tenant"}))
+	defer ts.Close()
+
+	snap := loadgen.RunOverload(loadgen.OverloadConfig{
+		Target:           ts.URL,
+		BaselineDuration: 300 * time.Millisecond,
+		RateDuration:     700 * time.Millisecond,
+		Rates:            []float64{3},
+		Client:           ts.Client(),
+	})
+
+	if snap.Experiment != "OVERLOAD" {
+		t.Fatalf("experiment = %q, want OVERLOAD", snap.Experiment)
+	}
+	if snap.GoVersion == "" || snap.NumCPU <= 0 || snap.Target != ts.URL {
+		t.Fatalf("snapshot header incomplete: %+v", snap)
+	}
+	if snap.SingleConn.Requests == 0 || snap.SingleConn.Errors != 0 || snap.SingleConn.P99MS <= 0 {
+		t.Fatalf("single-conn baseline unusable: %+v", snap.SingleConn)
+	}
+	if snap.Capacity.ReqPerS <= 0 {
+		t.Fatalf("capacity baseline unusable: %+v", snap.Capacity)
+	}
+	if len(snap.Rates) != 1 {
+		t.Fatalf("rates = %d rows, want 1", len(snap.Rates))
+	}
+	r := snap.Rates[0]
+	if r.Offered == 0 || r.OK == 0 {
+		t.Fatalf("overload row empty: %+v", r)
+	}
+	if r.Shed == 0 {
+		t.Fatalf("offered 3x capacity against 2 tokens but nothing was shed: %+v", r)
+	}
+	if r.ShedBad != 0 {
+		t.Fatalf("%d sheds missing Retry-After: %+v", r.ShedBad, r)
+	}
+	if r.Errors != 0 {
+		t.Fatalf("%d non-429 errors under overload: %+v", r.Errors, r)
+	}
+	if r.AdmittedP99MS <= 0 {
+		t.Fatalf("no admitted latency recorded: %+v", r)
+	}
+}

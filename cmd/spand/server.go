@@ -6,9 +6,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"mime"
+	"mime/multipart"
 	"net/http"
+	"net/textproto"
+	"strconv"
+	"strings"
+	"time"
 
+	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/span"
@@ -77,22 +84,103 @@ func tuplesJSON(rel *span.Relation) [][]jsonSpan {
 	return out
 }
 
+// serverConfig is the daemon-level (non-engine) serving policy.
+type serverConfig struct {
+	// limiter, when non-nil, guards /v1/extract and /v1/check with
+	// admission control; /v1/stats and /metrics stay un-gated so
+	// monitoring works precisely when the daemon is overloaded.
+	limiter *admission.Limiter
+	// deadline, when positive, bounds each guarded request end to end:
+	// queue wait, planning and evaluation all draw from the same budget.
+	deadline time.Duration
+	// tenantHeader names the HTTP header carrying the tenant key for the
+	// plan cache's per-tenant quotas. Empty disables tenant attribution.
+	tenantHeader string
+}
+
 type server struct {
 	eng *engine.Engine
 	m   *httpMetrics
+	cfg serverConfig
 }
 
-// newServer wires the daemon's routes onto a fresh mux. HTTP-level
+// newServer wires the daemon's routes onto a fresh mux with no
+// admission control — the permissive configuration embedded tests use.
+func newServer(eng *engine.Engine) http.Handler {
+	return newServerWith(eng, serverConfig{})
+}
+
+// newServerWith wires the daemon's routes onto a fresh mux. HTTP-level
 // metrics live in the engine's registry, so GET /metrics exposes the
 // whole stack's series on one page.
-func newServer(eng *engine.Engine) http.Handler {
-	s := &server{eng: eng, m: newHTTPMetrics(eng.Registry())}
+func newServerWith(eng *engine.Engine, cfg serverConfig) http.Handler {
+	s := &server{eng: eng, m: newHTTPMetrics(eng.Registry()), cfg: cfg}
+	if cfg.limiter != nil {
+		cfg.limiter.Register(eng.Registry())
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/extract", s.m.wrap("/v1/extract", s.handleExtract))
-	mux.HandleFunc("POST /v1/check", s.m.wrap("/v1/check", s.handleCheck))
+	mux.HandleFunc("POST /v1/extract", s.m.wrap("/v1/extract", s.guard(s.handleExtract)))
+	mux.HandleFunc("POST /v1/check", s.m.wrap("/v1/check", s.guard(s.handleCheck)))
 	mux.HandleFunc("GET /v1/stats", s.m.wrap("/v1/stats", s.handleStats))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
+}
+
+// guard applies the per-request deadline and the admission limiter to a
+// work-bearing handler. Ordering matters: the deadline is installed
+// first so time spent queued draws down the same budget as planning and
+// evaluation — a request cannot burn its whole deadline in line and
+// then start evaluating.
+func (s *server) guard(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.deadline > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.deadline)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		if s.cfg.limiter != nil {
+			release, err := s.cfg.limiter.Acquire(r.Context())
+			if err != nil {
+				s.writeShed(w, err)
+				return
+			}
+			defer release()
+		}
+		h(w, r)
+	}
+}
+
+// writeShed answers a request the limiter refused. Sheds proper (queue
+// full, wait budget exceeded) get 429 with a Retry-After hint sized to
+// the current queue; a request whose own context died while queued gets
+// the same status its death would have earned downstream.
+func (s *server) writeShed(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, admission.ErrQueueFull), errors.Is(err, admission.ErrQueueAged):
+		retry := int(math.Ceil(s.cfg.limiter.RetryAfter().Seconds()))
+		// The request body was never read; Connection: close skips the
+		// keep-alive body drain so the shed costs microseconds even when
+		// the client was mid-way through a large upload.
+		w.Header().Set("Connection", "close")
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"error":           err.Error(),
+			"retry_after_sec": retry,
+		})
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, err)
+	default:
+		writeError(w, 499, err) // client closed request while queued
+	}
+}
+
+// tenantOf extracts the request's tenant key for the plan cache's
+// per-tenant quotas.
+func (s *server) tenantOf(r *http.Request) string {
+	if s.cfg.tenantHeader == "" {
+		return ""
+	}
+	return r.Header.Get(s.cfg.tenantHeader)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -126,9 +214,11 @@ func (s *server) handleExtract(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
 			return
 		}
+		ereq := req.engineRequest()
+		ereq.Tenant = s.tenantOf(r)
 		// The document is already in memory; evaluate it directly
 		// instead of paying the chunked-ingestion machinery.
-		s.runExtract(w, r, req.engineRequest(), "inline",
+		s.runExtract(w, r, ereq, "inline",
 			func(plan *engine.Plan) (*span.Relation, error) {
 				return s.eng.Extract(r.Context(), plan, req.Doc)
 			})
@@ -138,7 +228,7 @@ func (s *server) handleExtract(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		var req engine.Request
+		req := engine.Request{Tenant: s.tenantOf(r)}
 		for {
 			part, err := mr.NextPart()
 			if err == io.EOF {
@@ -181,6 +271,7 @@ func (s *server) handleExtract(w http.ResponseWriter, r *http.Request) {
 			Spanner:      q.Get("spanner"),
 			Splitter:     q.Get("splitter"),
 			SplitSpanner: q.Get("split_spanner"),
+			Tenant:       s.tenantOf(r),
 		}
 		s.extract(w, r, req, r.Body)
 	}
@@ -196,14 +287,35 @@ func (s *server) extract(w http.ResponseWriter, r *http.Request, req engine.Requ
 }
 
 // planErrStatus classifies a Plan error: a coalesced waiter can see its
-// own context cancelled while the plan is still compiling; that is the
-// client's doing, not a bad formula — classify it like evaluation-stage
-// cancellation (499, client closed request / timed out).
+// own context die while the plan is still compiling. A client
+// cancellation is the client's doing (499); the server's own deadline
+// budget running out is the server giving up (504). Anything else is a
+// bad formula.
 func planErrStatus(err error) int {
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+	switch {
+	case errors.Is(err, engine.ErrDeadlineExceeded), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
 		return 499
 	}
 	return http.StatusBadRequest
+}
+
+// extractErrStatus maps an evaluation-stage error to its HTTP status.
+// Order matters: the typed engine errors are checked before the bare
+// context sentinels they wrap.
+func extractErrStatus(err error) int {
+	switch {
+	case errors.Is(err, engine.ErrReadStalled):
+		return http.StatusRequestTimeout // 408: the client stopped sending
+	case errors.Is(err, engine.ErrDeadlineExceeded), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout // 504: the server's deadline budget ran out
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request
+	case errors.Is(err, engine.ErrDocTooLarge):
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusInternalServerError
 }
 
 func (s *server) runExtract(w http.ResponseWriter, r *http.Request, req engine.Request, ingest string, run func(*engine.Plan) (*span.Relation, error)) {
@@ -219,16 +331,21 @@ func (s *server) runExtract(w http.ResponseWriter, r *http.Request, req engine.R
 			ingest = "buffered"
 		}
 	}
+	if acceptsMultipart(r) {
+		s.runExtractMultipart(w, plan, hit, ingest, run)
+		return
+	}
 	rel, err := run(plan)
 	if err != nil {
-		status := http.StatusInternalServerError
-		switch {
-		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-			status = 499 // client closed request / timed out
-		case errors.Is(err, engine.ErrDocTooLarge):
-			status = http.StatusRequestEntityTooLarge
+		if ingest != "inline" {
+			// The document body was abandoned mid-read (stall, deadline,
+			// size cap, cancellation). The connection cannot be reused, and
+			// — decisive for the 408 path — without Connection: close the
+			// server would block draining a body the client has stopped
+			// sending before the error could reach the wire.
+			w.Header().Set("Connection", "close")
 		}
-		writeError(w, status, err)
+		writeError(w, extractErrStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, extractResponse{
@@ -238,6 +355,83 @@ func (s *server) runExtract(w http.ResponseWriter, r *http.Request, req engine.R
 		Count:        rel.Len(),
 		Tuples:       tuplesJSON(rel),
 	})
+}
+
+// acceptsMultipart reports whether the client asked for the streamed
+// multipart/mixed response shape.
+func acceptsMultipart(r *http.Request) bool {
+	for _, accept := range r.Header.Values("Accept") {
+		for _, part := range strings.Split(accept, ",") {
+			mt, _, err := mime.ParseMediaType(strings.TrimSpace(part))
+			if err == nil && mt == "multipart/mixed" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// epilogue is the final part of every multipart/mixed extraction
+// response: status "ok" with the tuple count, or status "error" with
+// the failure and the HTTP status the error would have carried on the
+// buffered path.
+type epilogue struct {
+	Status string `json:"status"`
+	Count  int    `json:"count,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// HTTPStatus is advisory: by the time the epilogue is written the
+	// 200 header is long gone, so mid-stream failures surface here.
+	HTTPStatus int `json:"http_status,omitempty"`
+}
+
+// runExtractMultipart answers with multipart/mixed: a "plan" part
+// written (and flushed) before evaluation starts, a "tuples" part on
+// success, and always a terminal "end" epilogue part. The epilogue is
+// what makes mid-stream failure explicit: when the engine surfaces
+// context.Canceled or a deadline after the 200 header has been sent,
+// the stream still terminates with a parseable error part instead of
+// an ambiguous truncation — a client that never sees an "end" part
+// knows the response is incomplete.
+func (s *server) runExtractMultipart(w http.ResponseWriter, plan *engine.Plan, hit bool, ingest string, run func(*engine.Plan) (*span.Relation, error)) {
+	// The response header goes out before the document has been read, so
+	// the connection must be full-duplex: without this, net/http drains
+	// the unconsumed request body at WriteHeader time — eating the
+	// document the engine is about to evaluate.
+	rc := http.NewResponseController(w)
+	_ = rc.EnableFullDuplex()
+	mw := multipart.NewWriter(w)
+	defer mw.Close()
+	w.Header().Set("Content-Type", "multipart/mixed; boundary="+mw.Boundary())
+	w.WriteHeader(http.StatusOK)
+
+	part := func(name string, v any) {
+		h := textproto.MIMEHeader{}
+		h.Set("Content-Type", "application/json")
+		h.Set("Content-Disposition", `inline; name="`+name+`"`)
+		pw, err := mw.CreatePart(h)
+		if err != nil {
+			return // client gone; nothing left to say
+		}
+		enc := json.NewEncoder(pw)
+		enc.SetEscapeHTML(false)
+		_ = enc.Encode(v)
+	}
+
+	type planPart struct {
+		planResponse
+		Ingest string   `json:"ingest"`
+		Vars   []string `json:"vars"`
+	}
+	part("plan", planPart{planResponse: planSection(plan, hit), Ingest: ingest, Vars: plan.Vars()})
+	_ = rc.Flush() // the client sees the verdict while the document uploads
+
+	rel, err := run(plan)
+	if err != nil {
+		part("end", epilogue{Status: "error", Error: err.Error(), HTTPStatus: extractErrStatus(err)})
+		return
+	}
+	part("tuples", tuplesJSON(rel))
+	part("end", epilogue{Status: "ok", Count: rel.Len()})
 }
 
 // handleCheck serves POST /v1/check: it returns the plan's verdicts
@@ -253,7 +447,9 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
 		return
 	}
-	plan, hit, err := s.eng.Plan(r.Context(), req.engineRequest())
+	ereq := req.engineRequest()
+	ereq.Tenant = s.tenantOf(r)
+	plan, hit, err := s.eng.Plan(r.Context(), ereq)
 	if err != nil {
 		writeError(w, planErrStatus(err), err)
 		return
@@ -270,6 +466,10 @@ type statsResponse struct {
 	engine.Stats
 	InFlight  int64                    `json:"in_flight"`
 	Endpoints map[string]endpointStats `json:"endpoints"`
+	// Admission is the overload front door's state: tokens, queue depth,
+	// shed counters and the current Retry-After hint. Absent when the
+	// daemon runs without a limiter.
+	Admission *admission.Stats `json:"admission,omitempty"`
 }
 
 // handleStats serves GET /v1/stats: cache hit rate, throughput counters
@@ -277,11 +477,16 @@ type statsResponse struct {
 // whether the unsafe -stream-incremental override is active, the
 // pipeline-stage time breakdown and per-endpoint latency percentiles.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, statsResponse{
+	resp := statsResponse{
 		Stats:     s.eng.Stats(),
 		InFlight:  s.m.inFlight.Load(),
 		Endpoints: s.m.snapshot(),
-	})
+	}
+	if s.cfg.limiter != nil {
+		st := s.cfg.limiter.Snapshot()
+		resp.Admission = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleMetrics serves GET /metrics in the Prometheus text exposition

@@ -1,0 +1,342 @@
+// Package admission implements the serving daemon's overload-protection
+// front door: a token-based concurrency limiter with a bounded FIFO wait
+// queue and explicit load shedding.
+//
+// The model is the classic admission-control shape: at most Tokens
+// requests execute concurrently; up to Queue more wait in arrival order;
+// everything beyond that is shed immediately with a typed error the
+// daemon maps to HTTP 429 + Retry-After. A queued request is also shed
+// when its wait would exceed its budget — the smaller of the limiter's
+// MaxWait and the time remaining until the request's own context
+// deadline — so a request never burns its whole deadline standing in
+// line only to time out mid-evaluation. Shedding early and cheaply is
+// the point: under an open-loop arrival rate above capacity the queue
+// bounds the latency of every admitted request (wait ≤ Queue/Tokens ×
+// mean service time), and the excess is rejected in microseconds instead
+// of degrading everyone (cf. the CoDel/SEDA lineage of bounded queues).
+//
+// The limiter is instrumented with the same dependency-free metric
+// primitives as the rest of the stack (internal/obs): queue-depth and
+// in-use gauges, admitted/shed counters and a queue-age histogram, all
+// registerable into a service's registry with Register.
+package admission
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ErrQueueFull is returned by Acquire when the wait queue is at
+// capacity: the request is shed without waiting. The daemon maps it to
+// HTTP 429.
+var ErrQueueFull = errors.New("admission: wait queue full")
+
+// ErrQueueAged is returned by Acquire when a queued request's wait
+// exceeded its budget (MaxWait, or the context deadline's remainder if
+// smaller) before a token freed up. Like ErrQueueFull it maps to 429 —
+// the request was never admitted, so retrying later is sound.
+var ErrQueueAged = errors.New("admission: queue wait exceeded the request's budget")
+
+// Config tunes a Limiter. The zero value selects GOMAXPROCS tokens, a
+// 4×tokens queue and a 500 ms wait cap.
+type Config struct {
+	// Tokens is the number of requests allowed to execute concurrently.
+	// <= 0 selects runtime.GOMAXPROCS(0).
+	Tokens int
+	// Queue is the maximum number of requests waiting for a token; an
+	// arrival beyond it is shed with ErrQueueFull. 0 selects 4×Tokens;
+	// negative disables waiting entirely (admit or shed, never queue).
+	Queue int
+	// MaxWait caps the time a request may spend queued before it is shed
+	// with ErrQueueAged. A request whose context deadline is nearer than
+	// MaxWait gets the smaller budget. 0 selects 500 ms.
+	MaxWait time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tokens <= 0 {
+		c.Tokens = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case c.Queue == 0:
+		c.Queue = 4 * c.Tokens
+	case c.Queue < 0:
+		c.Queue = 0
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 500 * time.Millisecond
+	}
+	return c
+}
+
+// waiter is one queued Acquire. granted and dead are guarded by the
+// limiter's mutex; the channel is closed exactly once, on grant.
+type waiter struct {
+	ch      chan struct{}
+	granted bool
+	dead    bool // abandoned by cancellation/ageing; skip on grant
+}
+
+// Limiter is a token-based concurrency limiter with a bounded FIFO wait
+// queue. It is safe for concurrent use.
+type Limiter struct {
+	cfg Config
+
+	mu    sync.Mutex
+	inUse int       // tokens held by admitted requests
+	queue []*waiter // FIFO; dead entries are skipped and dropped on pop
+
+	// serviceNS is an EWMA of admitted requests' token-hold time,
+	// feeding the Retry-After hint. Stored as nanoseconds.
+	serviceNS atomic.Int64
+
+	// Metrics. Depth and InUseGauge mirror the queue/token state;
+	// QueueAge records every completed wait (granted or shed).
+	Admitted   obs.Counter
+	ShedFull   obs.Counter
+	ShedAged   obs.Counter
+	ShedCancel obs.Counter // cancelled while queued, or granted-but-gone
+	Depth      obs.Gauge
+	InUseGauge obs.Gauge
+	DepthPeak  obs.Gauge // high-water queue depth
+	QueueAge   obs.Histogram
+}
+
+// New returns a limiter for the given configuration.
+func New(cfg Config) *Limiter {
+	return &Limiter{cfg: cfg.withDefaults()}
+}
+
+// Tokens reports the configured concurrency limit.
+func (l *Limiter) Tokens() int { return l.cfg.Tokens }
+
+// QueueCap reports the configured wait-queue capacity.
+func (l *Limiter) QueueCap() int { return l.cfg.Queue }
+
+// Acquire admits the request or sheds it. On success it returns a
+// release function that MUST be called exactly once when the request
+// finishes; on failure the error is ErrQueueFull, ErrQueueAged, or the
+// context's error if the caller went away while queued. A request is
+// never both shed and admitted: an error return guarantees the token
+// was not consumed (or was returned before the error), so the caller
+// can answer 429 without double-serving.
+func (l *Limiter) Acquire(ctx context.Context) (release func(), err error) {
+	l.mu.Lock()
+	if l.inUse < l.cfg.Tokens {
+		l.inUse++
+		l.InUseGauge.Set(int64(l.inUse))
+		l.mu.Unlock()
+		l.Admitted.Inc()
+		return l.releaseFunc(time.Now()), nil
+	}
+	if len(l.queue) >= l.cfg.Queue {
+		l.mu.Unlock()
+		l.ShedFull.Inc()
+		return nil, ErrQueueFull
+	}
+	w := &waiter{ch: make(chan struct{})}
+	l.queue = append(l.queue, w)
+	depth := int64(len(l.queue))
+	l.Depth.Set(depth)
+	l.DepthPeak.Max(depth)
+	l.mu.Unlock()
+
+	budget := l.cfg.MaxWait
+	if d, ok := ctx.Deadline(); ok {
+		if until := time.Until(d); until < budget {
+			budget = until
+		}
+	}
+	timer := time.NewTimer(budget)
+	defer timer.Stop()
+	enq := time.Now()
+
+	select {
+	case <-w.ch:
+		l.QueueAge.RecordDuration(time.Since(enq))
+		l.Admitted.Inc()
+		return l.releaseFunc(time.Now()), nil
+	case <-timer.C:
+		if l.abandon(w) {
+			l.QueueAge.RecordDuration(time.Since(enq))
+			l.ShedAged.Inc()
+			return nil, ErrQueueAged
+		}
+		// The grant raced the timer and won: the token is ours.
+		l.QueueAge.RecordDuration(time.Since(enq))
+		l.Admitted.Inc()
+		return l.releaseFunc(time.Now()), nil
+	case <-ctx.Done():
+		l.QueueAge.RecordDuration(time.Since(enq))
+		if l.abandon(w) {
+			l.ShedCancel.Inc()
+			return nil, ctx.Err()
+		}
+		// Granted concurrently with the cancellation: the caller is gone,
+		// so hand the token straight back and report the cancellation.
+		l.ShedCancel.Inc()
+		l.release(time.Now())
+		return nil, ctx.Err()
+	}
+}
+
+// abandon marks a queued waiter dead. It reports false when the waiter
+// was already granted — in that case the caller owns a token and must
+// either use it or release it.
+func (l *Limiter) abandon(w *waiter) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if w.granted {
+		return false
+	}
+	w.dead = true
+	l.Depth.Set(int64(l.liveDepthLocked()))
+	return true
+}
+
+// liveDepthLocked counts non-dead waiters. Dead entries are dropped
+// lazily on grant, so the slice may briefly hold them.
+func (l *Limiter) liveDepthLocked() int {
+	n := 0
+	for _, w := range l.queue {
+		if !w.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// releaseFunc wraps release with a sync.Once so a double call cannot
+// mint tokens.
+func (l *Limiter) releaseFunc(admitted time.Time) func() {
+	var once sync.Once
+	return func() { once.Do(func() { l.release(admitted) }) }
+}
+
+// release returns a token: the oldest live waiter inherits it directly
+// (FIFO — the token never becomes free while someone is queued), or the
+// in-use count drops.
+func (l *Limiter) release(admitted time.Time) {
+	l.observeService(time.Since(admitted))
+	l.mu.Lock()
+	for len(l.queue) > 0 {
+		w := l.queue[0]
+		l.queue = l.queue[1:]
+		if w.dead {
+			continue
+		}
+		w.granted = true
+		close(w.ch)
+		l.Depth.Set(int64(l.liveDepthLocked()))
+		l.mu.Unlock()
+		return
+	}
+	l.inUse--
+	l.InUseGauge.Set(int64(l.inUse))
+	l.Depth.Set(0)
+	l.mu.Unlock()
+}
+
+// observeService folds one admitted request's token-hold time into the
+// EWMA behind the Retry-After hint (α = 1/8, the TCP RTT estimator's).
+func (l *Limiter) observeService(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	for {
+		old := l.serviceNS.Load()
+		var next int64
+		if old == 0 {
+			next = int64(d)
+		} else {
+			next = old + (int64(d)-old)/8
+		}
+		if l.serviceNS.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// RetryAfter estimates how long a shed client should back off before
+// retrying: the time for the current queue plus one more request to
+// drain through the token pool, clamped to [1 s, 60 s] — coarse on
+// purpose, since Retry-After carries integer seconds.
+func (l *Limiter) RetryAfter() time.Duration {
+	l.mu.Lock()
+	depth := l.liveDepthLocked()
+	tokens := l.cfg.Tokens
+	l.mu.Unlock()
+	svc := time.Duration(l.serviceNS.Load())
+	if svc <= 0 {
+		svc = 50 * time.Millisecond
+	}
+	d := time.Duration(depth+1) * svc / time.Duration(tokens)
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > time.Minute {
+		d = time.Minute
+	}
+	return d
+}
+
+// Stats is a monitoring snapshot of the limiter.
+type Stats struct {
+	Tokens     int    `json:"tokens"`
+	InUse      int64  `json:"in_use"`
+	QueueCap   int    `json:"queue_cap"`
+	QueueDepth int64  `json:"queue_depth"`
+	QueuePeak  int64  `json:"queue_peak"`
+	Admitted   uint64 `json:"admitted"`
+	ShedFull   uint64 `json:"shed_full"`
+	ShedAged   uint64 `json:"shed_aged"`
+	ShedCancel uint64 `json:"shed_cancel"`
+	// Queue-age latency percentiles over every completed wait, granted
+	// or shed (milliseconds).
+	QueueAgeP50MS float64 `json:"queue_age_p50_ms"`
+	QueueAgeP99MS float64 `json:"queue_age_p99_ms"`
+	// RetryAfterSec is the current back-off hint.
+	RetryAfterSec float64 `json:"retry_after_sec"`
+}
+
+// Snapshot reads the limiter's counters in one pass.
+func (l *Limiter) Snapshot() Stats {
+	const msPerNS = 1e-6
+	age := l.QueueAge.Snapshot()
+	return Stats{
+		Tokens:        l.cfg.Tokens,
+		InUse:         l.InUseGauge.Load(),
+		QueueCap:      l.cfg.Queue,
+		QueueDepth:    l.Depth.Load(),
+		QueuePeak:     l.DepthPeak.Load(),
+		Admitted:      l.Admitted.Load(),
+		ShedFull:      l.ShedFull.Load(),
+		ShedAged:      l.ShedAged.Load(),
+		ShedCancel:    l.ShedCancel.Load(),
+		QueueAgeP50MS: age.Quantile(0.50) * msPerNS,
+		QueueAgeP99MS: age.Quantile(0.99) * msPerNS,
+		RetryAfterSec: l.RetryAfter().Seconds(),
+	}
+}
+
+// Register binds the limiter's series into a metrics registry under the
+// spand_admission_ prefix.
+func (l *Limiter) Register(r *obs.Registry) {
+	r.BindCounter("spand_admission_admitted_total", "requests admitted past the limiter", &l.Admitted)
+	r.BindCounter("spand_admission_shed_queue_full_total", "requests shed because the wait queue was full", &l.ShedFull)
+	r.BindCounter("spand_admission_shed_queue_aged_total", "queued requests shed because their wait budget ran out", &l.ShedAged)
+	r.BindCounter("spand_admission_shed_cancelled_total", "queued requests abandoned by client cancellation", &l.ShedCancel)
+	r.BindGauge("spand_admission_queue_depth", "requests currently waiting for a token", &l.Depth)
+	r.BindGauge("spand_admission_queue_depth_peak", "deepest wait queue seen", &l.DepthPeak)
+	r.BindGauge("spand_admission_in_use", "tokens currently held", &l.InUseGauge)
+	r.BindDurationHistogram("spand_admission_queue_age_seconds", "time spent waiting for a token", &l.QueueAge)
+	r.GaugeFunc("spand_admission_retry_after_seconds", "current Retry-After back-off hint", func() float64 {
+		return l.RetryAfter().Seconds()
+	})
+}

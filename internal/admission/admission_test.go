@@ -1,0 +1,291 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestAdmitUpToTokens admits exactly Tokens requests without queueing.
+func TestAdmitUpToTokens(t *testing.T) {
+	l := New(Config{Tokens: 3, Queue: -1})
+	var releases []func()
+	for i := 0; i < 3; i++ {
+		rel, err := l.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		releases = append(releases, rel)
+	}
+	if _, err := l.Acquire(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("4th acquire with no queue: err = %v, want ErrQueueFull", err)
+	}
+	releases[0]()
+	rel, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	rel()
+	for _, r := range releases[1:] {
+		r()
+	}
+	if got := l.Snapshot(); got.InUse != 0 || got.ShedFull != 1 || got.Admitted != 4 {
+		t.Fatalf("snapshot = %+v, want in_use 0, shed_full 1, admitted 4", got)
+	}
+}
+
+// TestQueueFIFO checks waiters are granted in arrival order.
+func TestQueueFIFO(t *testing.T) {
+	l := New(Config{Tokens: 1, Queue: 8, MaxWait: time.Minute})
+	rel, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5
+	order := make(chan int, n)
+	var started sync.WaitGroup
+	var done sync.WaitGroup
+	for i := 0; i < n; i++ {
+		started.Add(1)
+		done.Add(1)
+		go func(id int) {
+			defer done.Done()
+			// Serialize enqueue order: waiter id enters the queue before
+			// waiter id+1 starts.
+			r, err := l.Acquire(context.Background())
+			if err != nil {
+				t.Errorf("waiter %d: %v", id, err)
+				return
+			}
+			order <- id
+			r()
+		}(i)
+		// Wait until this waiter is actually queued before starting the
+		// next, so arrival order is deterministic.
+		waitFor(t, func() bool { return l.Depth.Load() == int64(i+1) })
+		started.Done()
+	}
+	started.Wait()
+	rel()
+	done.Wait()
+	close(order)
+	want := 0
+	for id := range order {
+		if id != want {
+			t.Fatalf("grant order: got waiter %d, want %d", id, want)
+		}
+		want++
+	}
+	if want != n {
+		t.Fatalf("granted %d waiters, want %d", want, n)
+	}
+}
+
+// TestShedWhenQueueFull sheds immediately once the queue is at capacity.
+func TestShedWhenQueueFull(t *testing.T) {
+	l := New(Config{Tokens: 1, Queue: 2, MaxWait: time.Minute})
+	rel, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			r, err := l.Acquire(context.Background())
+			if err == nil {
+				defer r()
+			}
+			errs <- err
+		}()
+	}
+	waitFor(t, func() bool { return l.Depth.Load() == 2 })
+	t0 := time.Now()
+	if _, err := l.Acquire(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if d := time.Since(t0); d > 100*time.Millisecond {
+		t.Fatalf("full-queue shed took %v; must not wait", d)
+	}
+	rel()
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("queued waiter: %v", err)
+		}
+	}
+}
+
+// TestQueueAgeShed sheds a queued request once its wait budget runs out,
+// without granting it.
+func TestQueueAgeShed(t *testing.T) {
+	l := New(Config{Tokens: 1, Queue: 4, MaxWait: 30 * time.Millisecond})
+	rel, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	_, err = l.Acquire(context.Background())
+	if !errors.Is(err, ErrQueueAged) {
+		t.Fatalf("err = %v, want ErrQueueAged", err)
+	}
+	if d := time.Since(t0); d < 25*time.Millisecond || d > 2*time.Second {
+		t.Fatalf("aged shed after %v, want ≈30ms", d)
+	}
+	// The shed waiter must be gone: releasing now must free the token,
+	// not grant a ghost.
+	rel()
+	r2, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire after aged shed: %v", err)
+	}
+	r2()
+	if got := l.Snapshot(); got.ShedAged != 1 || got.InUse != 0 {
+		t.Fatalf("snapshot = %+v, want shed_aged 1, in_use 0", got)
+	}
+}
+
+// TestDeadlineBudget uses the context deadline when it is nearer than
+// MaxWait.
+func TestDeadlineBudget(t *testing.T) {
+	l := New(Config{Tokens: 1, Queue: 4, MaxWait: time.Minute})
+	rel, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	_, err = l.Acquire(ctx)
+	if !errors.Is(err, ErrQueueAged) && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrQueueAged or DeadlineExceeded", err)
+	}
+	if d := time.Since(t0); d > 5*time.Second {
+		t.Fatalf("deadline-budget shed took %v", d)
+	}
+}
+
+// TestCancelWhileQueued returns the context error and removes the
+// waiter.
+func TestCancelWhileQueued(t *testing.T) {
+	l := New(Config{Tokens: 1, Queue: 4, MaxWait: time.Minute})
+	rel, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errs := make(chan error, 1)
+	go func() {
+		_, err := l.Acquire(ctx)
+		errs <- err
+	}()
+	waitFor(t, func() bool { return l.Depth.Load() == 1 })
+	cancel()
+	if err := <-errs; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	rel()
+	r2, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire after cancelled waiter: %v", err)
+	}
+	r2()
+	if got := l.Snapshot(); got.InUse != 0 || got.ShedCancel != 1 {
+		t.Fatalf("snapshot = %+v, want in_use 0, shed_cancel 1", got)
+	}
+}
+
+// TestDoubleReleaseIsNoop: calling release twice must not mint tokens.
+func TestDoubleReleaseIsNoop(t *testing.T) {
+	l := New(Config{Tokens: 1, Queue: -1})
+	rel, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	rel()
+	r1, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1()
+	if _, err := l.Acquire(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("double release minted a token: err = %v, want ErrQueueFull", err)
+	}
+}
+
+// TestNeverShedAndExecuted hammers the limiter with short-budget
+// acquires under the race detector and checks the core invariant: every
+// Acquire either errors (shed) or returns a usable token, never both,
+// and tokens are conserved — concurrent holders never exceed Tokens and
+// all tokens return after the storm.
+func TestNeverShedAndExecuted(t *testing.T) {
+	const tokens = 4
+	l := New(Config{Tokens: tokens, Queue: 8, MaxWait: 2 * time.Millisecond})
+	var executing atomic.Int64
+	var admitted, shed atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				rel, err := l.Acquire(context.Background())
+				if err != nil {
+					if !errors.Is(err, ErrQueueFull) && !errors.Is(err, ErrQueueAged) {
+						t.Errorf("unexpected shed error: %v", err)
+					}
+					shed.Add(1)
+					continue
+				}
+				if n := executing.Add(1); n > tokens {
+					t.Errorf("%d concurrent holders, limit %d", n, tokens)
+				}
+				admitted.Add(1)
+				time.Sleep(50 * time.Microsecond)
+				executing.Add(-1)
+				rel()
+			}
+		}()
+	}
+	wg.Wait()
+	if executing.Load() != 0 {
+		t.Fatalf("%d holders left after the storm", executing.Load())
+	}
+	if got := l.Snapshot(); got.InUse != 0 {
+		t.Fatalf("in_use = %d after all releases", got.InUse)
+	}
+	if admitted.Load() == 0 || shed.Load() == 0 {
+		t.Fatalf("storm did not oscillate: admitted %d, shed %d", admitted.Load(), shed.Load())
+	}
+	if s := l.Snapshot(); s.Admitted != admitted.Load() || s.ShedFull+s.ShedAged != shed.Load() {
+		t.Fatalf("counter drift: snapshot %+v vs observed admitted %d shed %d", s, admitted.Load(), shed.Load())
+	}
+}
+
+// TestRetryAfterBounds keeps the hint within [1s, 60s].
+func TestRetryAfterBounds(t *testing.T) {
+	l := New(Config{Tokens: 1, Queue: 4})
+	if d := l.RetryAfter(); d < time.Second || d > time.Minute {
+		t.Fatalf("idle RetryAfter = %v, want within [1s, 60s]", d)
+	}
+	l.observeService(10 * time.Minute) // absurd service time must clamp
+	if d := l.RetryAfter(); d != time.Minute {
+		t.Fatalf("RetryAfter = %v, want clamped to 60s", d)
+	}
+}
+
+// waitFor polls cond for up to 5 s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}

@@ -12,48 +12,100 @@ import (
 // plan, a coalesced request joined an in-flight compilation of the same
 // key (the single-flight path). Misses counts actual compilations,
 // including ones that ended in an error (errors are not cached, so a
-// later request retries).
+// later request retries). Evictions counts removals forced by the
+// global entry/byte budgets, TenantEvictions removals forced by a
+// single tenant's quota, and Oversize plans whose estimated cost alone
+// exceeded the per-tenant byte budget (they are compiled, served and
+// not cached — a hostile tenant cannot pin the cache with one huge
+// plan).
 type CacheStats struct {
-	Hits      uint64  `json:"hits"`
-	Misses    uint64  `json:"misses"`
-	Coalesced uint64  `json:"coalesced"`
-	Evictions uint64  `json:"evictions"`
-	Size      int     `json:"size"`
-	Cap       int     `json:"cap"`
-	HitRate   float64 `json:"hit_rate"`
+	Hits            uint64  `json:"hits"`
+	Misses          uint64  `json:"misses"`
+	Coalesced       uint64  `json:"coalesced"`
+	Evictions       uint64  `json:"evictions"`
+	TenantEvictions uint64  `json:"tenant_evictions"`
+	Oversize        uint64  `json:"oversize"`
+	Size            int     `json:"size"`
+	Cap             int     `json:"cap"`
+	Bytes           int64   `json:"bytes"`
+	MaxBytes        int64   `json:"max_bytes"`
+	Tenants         int     `json:"tenants"`
+	HitRate         float64 `json:"hit_rate"`
 }
 
-// planCache is an LRU of compiled plans with single-flight deduplication:
-// concurrent gets of the same key run the build function exactly once,
-// with the late arrivals blocking on the in-flight entry instead of
-// re-running the decision procedures.
+// cacheConfig bounds the plan cache. The entry caps bound how many
+// plans are held; the byte budgets bound their summed estimated memory
+// cost (Plan.cost), so many small plans and few huge ones hit the same
+// ceiling. Per-tenant budgets carve the global budgets up: one tenant
+// churning unique formulas evicts its own plans, never another
+// tenant's.
+type cacheConfig struct {
+	cap         int   // max entries, all tenants (≥ 1)
+	maxBytes    int64 // max summed plan cost; ≤ 0 = unlimited
+	tenantCap   int   // max entries per tenant; ≤ 0 = cap
+	tenantBytes int64 // max summed plan cost per tenant; ≤ 0 = maxBytes
+}
+
+func (c cacheConfig) withDefaults() cacheConfig {
+	if c.cap < 1 {
+		c.cap = 1
+	}
+	if c.tenantCap <= 0 || c.tenantCap > c.cap {
+		c.tenantCap = c.cap
+	}
+	if c.tenantBytes <= 0 || (c.maxBytes > 0 && c.tenantBytes > c.maxBytes) {
+		c.tenantBytes = c.maxBytes
+	}
+	return c
+}
+
+// planCache is an LRU of compiled plans with single-flight
+// deduplication, bounded by entry counts and estimated plan cost, both
+// globally and per tenant. Concurrent gets of the same key run the
+// build function exactly once, with the late arrivals blocking on the
+// in-flight entry instead of re-running the decision procedures.
 type planCache struct {
-	mu        sync.Mutex
-	cap       int
-	ll        *list.List // front = most recently used
-	items     map[string]*list.Element
-	hits      uint64
-	misses    uint64
-	coalesced uint64
-	evictions uint64
+	mu      sync.Mutex
+	cfg     cacheConfig
+	ll      *list.List // front = most recently used
+	items   map[string]*list.Element
+	bytes   int64
+	tenants map[string]*tenantUsage
+
+	hits            uint64
+	misses          uint64
+	coalesced       uint64
+	evictions       uint64
+	tenantEvictions uint64
+	oversize        uint64
+}
+
+// tenantUsage tracks one tenant's share of the cache. entries includes
+// in-flight compilations (so a tenant cannot stampede past its quota
+// with parallel misses); bytes only completed plans, whose cost is
+// known.
+type tenantUsage struct {
+	entries int
+	bytes   int64
 }
 
 type cacheEntry struct {
-	key   string
-	ready chan struct{} // closed when plan/err are set
-	done  bool          // guarded by planCache.mu
-	plan  *Plan
-	err   error
+	key    string
+	tenant string
+	cost   int64         // estimated plan memory; 0 while in-flight
+	ready  chan struct{} // closed when plan/err are set
+	done   bool          // guarded by planCache.mu
+	plan   *Plan
+	err    error
 }
 
-func newPlanCache(capacity int) *planCache {
-	if capacity < 1 {
-		capacity = 1
-	}
+func newPlanCache(cfg cacheConfig) *planCache {
+	cfg = cfg.withDefaults()
 	return &planCache{
-		cap:   capacity,
-		ll:    list.New(),
-		items: make(map[string]*list.Element, capacity),
+		cfg:     cfg,
+		ll:      list.New(),
+		items:   make(map[string]*list.Element, cfg.cap),
+		tenants: make(map[string]*tenantUsage),
 	}
 }
 
@@ -63,8 +115,9 @@ func newPlanCache(capacity int) *planCache {
 // waiter but not cached. A coalesced waiter whose own ctx is cancelled
 // stops waiting and returns its ctx error; the in-flight build is not
 // affected (it still serves the remaining waiters and populates the
-// cache).
-func (c *planCache) get(ctx context.Context, key string, build func() (*Plan, error)) (plan *Plan, hit bool, err error) {
+// cache). tenant scopes the quota accounting; the key must already
+// incorporate it (Request.key does).
+func (c *planCache) get(ctx context.Context, tenant, key string, build func() (*Plan, error)) (plan *Plan, hit bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
@@ -82,34 +135,118 @@ func (c *planCache) get(ctx context.Context, key string, build func() (*Plan, er
 			return nil, true, ctx.Err()
 		}
 	}
-	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	e := &cacheEntry{key: key, tenant: tenant, ready: make(chan struct{})}
 	el := c.ll.PushFront(e)
 	c.items[key] = el
+	c.usage(tenant).entries++
 	c.misses++
-	if c.ll.Len() > c.cap {
-		if old := c.ll.Back(); old != nil && old != el {
-			c.ll.Remove(old)
-			delete(c.items, old.Value.(*cacheEntry).key)
-			c.evictions++
-		}
-	}
+	c.evictLocked(e)
 	c.mu.Unlock()
 
 	plan, err = runBuild(build)
 
 	c.mu.Lock()
 	e.plan, e.err, e.done = plan, err, true
-	if err != nil {
+	cur, present := c.items[key]
+	present = present && cur.Value.(*cacheEntry) == e
+	switch {
+	case err != nil:
 		// Do not cache failures: a later identical request should retry
 		// (the failure may be transient, e.g. a cancelled context).
-		if cur, ok := c.items[key]; ok && cur.Value.(*cacheEntry) == e {
-			c.ll.Remove(cur)
-			delete(c.items, key)
+		if present {
+			c.removeLocked(cur)
+		}
+	case present:
+		cost := plan.cost()
+		if c.cfg.tenantBytes > 0 && cost > c.cfg.tenantBytes {
+			// The plan alone exceeds the tenant's whole byte budget:
+			// serve it, but do not let it occupy the cache. e.cost stays 0
+			// — it was never charged to the byte accounting.
+			c.oversize++
+			c.removeLocked(cur)
+		} else {
+			e.cost = cost
+			c.bytes += cost
+			c.usage(tenant).bytes += cost
+			c.evictLocked(e)
 		}
 	}
 	c.mu.Unlock()
 	close(e.ready)
 	return plan, false, err
+}
+
+func (c *planCache) usage(tenant string) *tenantUsage {
+	u := c.tenants[tenant]
+	if u == nil {
+		u = &tenantUsage{}
+		c.tenants[tenant] = u
+	}
+	return u
+}
+
+// removeLocked drops an entry and its accounting.
+func (c *planCache) removeLocked(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.bytes -= e.cost
+	if u := c.tenants[e.tenant]; u != nil {
+		u.entries--
+		u.bytes -= e.cost
+		if u.entries <= 0 && u.bytes <= 0 {
+			delete(c.tenants, e.tenant)
+		}
+	}
+}
+
+// evictLocked enforces the four budgets after keep was inserted or
+// finished compiling, evicting from the LRU tail. keep itself and
+// in-flight entries are never evicted (an in-flight entry's waiters
+// must be served; it is re-checked for eviction when it completes, via
+// its own evictLocked call). Tenant-quota evictions only touch the
+// over-quota tenant's entries; global-budget evictions take the
+// least-recently-used completed entry of any tenant.
+func (c *planCache) evictLocked(keep *cacheEntry) {
+	// The tenant loops only run when the per-tenant quota is strictly
+	// tighter than the global budget; otherwise the global checks below
+	// subsume them (a single tenant's usage never exceeds the total) and
+	// evictions are attributed to the global counter.
+	tu := c.usage(keep.tenant)
+	if c.cfg.tenantCap < c.cfg.cap {
+		for tu.entries > c.cfg.tenantCap && c.evictOneLocked(keep, keep.tenant) {
+			c.tenantEvictions++
+		}
+	}
+	if c.cfg.tenantBytes > 0 && (c.cfg.maxBytes <= 0 || c.cfg.tenantBytes < c.cfg.maxBytes) {
+		for tu.bytes > c.cfg.tenantBytes && c.evictOneLocked(keep, keep.tenant) {
+			c.tenantEvictions++
+		}
+	}
+	for c.ll.Len() > c.cfg.cap && c.evictOneLocked(keep, "") {
+		c.evictions++
+	}
+	for c.cfg.maxBytes > 0 && c.bytes > c.cfg.maxBytes && c.evictOneLocked(keep, "") {
+		c.evictions++
+	}
+}
+
+// evictOneLocked removes the least-recently-used completed entry —
+// restricted to one tenant's entries when tenant is non-empty — and
+// reports whether it found one.
+func (c *planCache) evictOneLocked(keep *cacheEntry, tenant string) bool {
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*cacheEntry)
+		if e == keep || !e.done {
+			continue
+		}
+		if tenant != "" && e.tenant != tenant {
+			continue
+		}
+		c.removeLocked(el)
+		return true
+	}
+	return false
 }
 
 // runBuild runs build, converting a panic into an error. Compilation can
@@ -132,12 +269,17 @@ func (c *planCache) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s := CacheStats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Coalesced: c.coalesced,
-		Evictions: c.evictions,
-		Size:      c.ll.Len(),
-		Cap:       c.cap,
+		Hits:            c.hits,
+		Misses:          c.misses,
+		Coalesced:       c.coalesced,
+		Evictions:       c.evictions,
+		TenantEvictions: c.tenantEvictions,
+		Oversize:        c.oversize,
+		Size:            c.ll.Len(),
+		Cap:             c.cfg.cap,
+		Bytes:           c.bytes,
+		MaxBytes:        c.cfg.maxBytes,
+		Tenants:         len(c.tenants),
 	}
 	if total := s.Hits + s.Coalesced + s.Misses; total > 0 {
 		s.HitRate = float64(s.Hits+s.Coalesced) / float64(total)

@@ -13,7 +13,7 @@ import (
 )
 
 func TestCacheSingleFlightBuildsOnce(t *testing.T) {
-	c := newPlanCache(4)
+	c := newPlanCache(cacheConfig{cap: 4})
 	var builds atomic.Int32
 	gate := make(chan struct{})
 	const n = 32
@@ -22,7 +22,7 @@ func TestCacheSingleFlightBuildsOnce(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			plan, _, err := c.get(context.Background(), "k", func() (*Plan, error) {
+			plan, _, err := c.get(context.Background(), "", "k", func() (*Plan, error) {
 				builds.Add(1)
 				<-gate // hold the build open so every goroutine piles up
 				return &Plan{}, nil
@@ -49,14 +49,14 @@ func TestCacheSingleFlightBuildsOnce(t *testing.T) {
 }
 
 func TestCacheErrorsAreNotCached(t *testing.T) {
-	c := newPlanCache(4)
+	c := newPlanCache(cacheConfig{cap: 4})
 	boom := errors.New("boom")
 	calls := 0
-	_, _, err := c.get(context.Background(), "k", func() (*Plan, error) { calls++; return nil, boom })
+	_, _, err := c.get(context.Background(), "", "k", func() (*Plan, error) { calls++; return nil, boom })
 	if err != boom {
 		t.Fatalf("err = %v", err)
 	}
-	plan, hit, err := c.get(context.Background(), "k", func() (*Plan, error) { calls++; return &Plan{}, nil })
+	plan, hit, err := c.get(context.Background(), "", "k", func() (*Plan, error) { calls++; return &Plan{}, nil })
 	if err != nil || hit || plan == nil {
 		t.Fatalf("retry: plan=%v hit=%v err=%v", plan, hit, err)
 	}
@@ -69,16 +69,17 @@ func TestCacheErrorsAreNotCached(t *testing.T) {
 }
 
 func TestCacheLRUEviction(t *testing.T) {
-	c := newPlanCache(2)
+	c := newPlanCache(cacheConfig{cap: 2})
 	build := func() (*Plan, error) { return &Plan{}, nil }
-	c.get(context.Background(), "a", build)
-	c.get(context.Background(), "b", build)
-	c.get(context.Background(), "a", build) // refresh a; b is now least recently used
-	c.get(context.Background(), "c", build) // evicts b
-	if _, hit, _ := c.get(context.Background(), "a", build); !hit {
+	ctx := context.Background()
+	c.get(ctx, "", "a", build)
+	c.get(ctx, "", "b", build)
+	c.get(ctx, "", "a", build) // refresh a; b is now least recently used
+	c.get(ctx, "", "c", build) // evicts b
+	if _, hit, _ := c.get(ctx, "", "a", build); !hit {
 		t.Fatal("a should have survived eviction")
 	}
-	if _, hit, _ := c.get(context.Background(), "b", build); hit {
+	if _, hit, _ := c.get(ctx, "", "b", build); hit {
 		t.Fatal("b should have been evicted")
 	}
 	st := c.stats()
@@ -90,21 +91,129 @@ func TestCacheLRUEviction(t *testing.T) {
 	}
 }
 
+// planOfCost fabricates a plan whose cost() lands near want by padding
+// the spanner formula text (1 byte of formula = 1 unit of cost, on top
+// of the 512-byte base).
+func planOfCost(want int64) *Plan {
+	pad := int(want) - 512
+	if pad < 0 {
+		pad = 0
+	}
+	return &Plan{Req: Request{Spanner: strings.Repeat("x", pad)}}
+}
+
+func TestCacheByteBudgetEviction(t *testing.T) {
+	// Budget fits two ~1KiB plans but not three.
+	c := newPlanCache(cacheConfig{cap: 100, maxBytes: 2500})
+	ctx := context.Background()
+	build := func() (*Plan, error) { return planOfCost(1000), nil }
+	c.get(ctx, "", "a", build)
+	c.get(ctx, "", "b", build)
+	c.get(ctx, "", "c", build) // pushes bytes to ~3000 → evicts a
+	st := c.stats()
+	if st.Evictions == 0 {
+		t.Fatalf("stats = %+v, want byte-budget evictions", st)
+	}
+	if st.Bytes > 2500 {
+		t.Fatalf("bytes = %d exceeds budget 2500", st.Bytes)
+	}
+	if _, hit, _ := c.get(ctx, "", "a", build); hit {
+		t.Fatal("a (LRU) should have been evicted by the byte budget")
+	}
+	if _, hit, _ := c.get(ctx, "", "c", build); !hit {
+		t.Fatal("c (MRU) should have survived")
+	}
+}
+
+func TestCacheTenantEntryQuota(t *testing.T) {
+	// Global cap 8, per-tenant cap 2: tenant A churning keys evicts only
+	// its own plans; tenant B's stay put.
+	c := newPlanCache(cacheConfig{cap: 8, tenantCap: 2})
+	ctx := context.Background()
+	build := func() (*Plan, error) { return &Plan{}, nil }
+	c.get(ctx, "B", "b1", build)
+	c.get(ctx, "B", "b2", build)
+	for i := 0; i < 5; i++ {
+		c.get(ctx, "A", fmt.Sprintf("a%d", i), build)
+	}
+	st := c.stats()
+	if st.TenantEvictions == 0 {
+		t.Fatalf("stats = %+v, want tenant evictions", st)
+	}
+	if st.Evictions != 0 {
+		t.Fatalf("stats = %+v, want zero global evictions (cap 8 never hit)", st)
+	}
+	for _, k := range []string{"b1", "b2"} {
+		if _, hit, _ := c.get(ctx, "B", k, build); !hit {
+			t.Fatalf("tenant B's %q was evicted by tenant A's churn", k)
+		}
+	}
+	// A holds only its 2 most recent keys.
+	if _, hit, _ := c.get(ctx, "A", "a0", build); hit {
+		t.Fatal("a0 should have been evicted by A's own quota")
+	}
+}
+
+func TestCacheTenantByteQuota(t *testing.T) {
+	c := newPlanCache(cacheConfig{cap: 100, maxBytes: 1 << 20, tenantBytes: 2500})
+	ctx := context.Background()
+	build := func() (*Plan, error) { return planOfCost(1000), nil }
+	c.get(ctx, "B", "b1", build)
+	c.get(ctx, "A", "a1", build)
+	c.get(ctx, "A", "a2", build)
+	c.get(ctx, "A", "a3", build) // A at ~3000 bytes → evicts a1, not b1
+	st := c.stats()
+	if st.TenantEvictions == 0 {
+		t.Fatalf("stats = %+v, want tenant byte-quota evictions", st)
+	}
+	if _, hit, _ := c.get(ctx, "B", "b1", build); !hit {
+		t.Fatal("tenant B's plan was evicted by tenant A's byte churn")
+	}
+	if _, hit, _ := c.get(ctx, "A", "a1", build); hit {
+		t.Fatal("a1 should have been evicted by A's byte quota")
+	}
+}
+
+func TestCacheOversizePlanServedNotCached(t *testing.T) {
+	c := newPlanCache(cacheConfig{cap: 100, maxBytes: 1 << 20, tenantBytes: 600})
+	ctx := context.Background()
+	calls := 0
+	build := func() (*Plan, error) { calls++; return planOfCost(5000), nil }
+	plan, _, err := c.get(ctx, "A", "huge", build)
+	if err != nil || plan == nil {
+		t.Fatalf("get: plan=%v err=%v", plan, err)
+	}
+	st := c.stats()
+	if st.Oversize != 1 {
+		t.Fatalf("stats = %+v, want oversize = 1", st)
+	}
+	if st.Size != 0 || st.Bytes != 0 {
+		t.Fatalf("stats = %+v, want the oversize plan not cached", st)
+	}
+	// A second request recompiles (not cached), still served.
+	if _, hit, _ := c.get(ctx, "A", "huge", build); hit {
+		t.Fatal("oversize plan must not be a cache hit")
+	}
+	if calls != 2 {
+		t.Fatalf("build calls = %d, want 2", calls)
+	}
+}
+
 // TestCacheBuildPanicDoesNotPoisonKey: a panicking compilation (hostile
 // input, e.g. a formula exceeding vsa.MaxVars) must surface as an error
 // and leave the key retryable — previously the in-flight entry's ready
 // channel was never closed and every later request for the key blocked
 // forever.
 func TestCacheBuildPanicDoesNotPoisonKey(t *testing.T) {
-	c := newPlanCache(4)
+	c := newPlanCache(cacheConfig{cap: 4})
 	ctx := context.Background()
-	_, _, err := c.get(ctx, "k", func() (*Plan, error) { panic("boom") })
+	_, _, err := c.get(ctx, "", "k", func() (*Plan, error) { panic("boom") })
 	if err == nil {
 		t.Fatal("expected an error from a panicking build")
 	}
 	done := make(chan error, 1)
 	go func() {
-		_, _, err := c.get(ctx, "k", func() (*Plan, error) { return &Plan{}, nil })
+		_, _, err := c.get(ctx, "", "k", func() (*Plan, error) { return &Plan{}, nil })
 		done <- err
 	}()
 	select {
@@ -130,5 +239,15 @@ func TestPlanHostileFormulaTooManyVars(t *testing.T) {
 		if err == nil {
 			t.Fatalf("round %d: expected an error for a %d-variable formula", round, 33)
 		}
+	}
+}
+
+// TestCacheTenantIsolationInKey: the same formulas under two tenants
+// are distinct cache entries (Request.key incorporates the tenant).
+func TestCacheTenantIsolationInKey(t *testing.T) {
+	a := Request{Spanner: "x{a}", Tenant: "A"}
+	b := Request{Spanner: "x{a}", Tenant: "B"}
+	if a.key() == b.key() {
+		t.Fatal("tenants must not share cache keys")
 	}
 }

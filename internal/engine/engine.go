@@ -46,6 +46,15 @@ type Config struct {
 	// Workers is the number of evaluation workers in the work-stealing
 	// executor (default GOMAXPROCS). Results never depend on it.
 	Workers int
+	// RequestWorkers caps the executor parallelism any single request may
+	// use (default: Workers, i.e. no per-request cap — the right choice
+	// for single-tenant batch work). A serving daemon sets it below
+	// Workers so cores stay fungible across requests rather than within
+	// one: with admission control allowing T concurrent requests, a
+	// budget of ⌈2·Workers/T⌉ keeps one 128K-document request from
+	// starving the pool while still letting a lone request use spare
+	// cores. Results never depend on it.
+	RequestWorkers int
 	// Batch is the number of segments grouped into one dispatched task —
 	// the executor's scheduling grain (default 16). Results never depend
 	// on it.
@@ -78,10 +87,52 @@ type Config struct {
 	// maps it to HTTP 413). 0 selects the default (256 MiB); negative
 	// means unlimited.
 	MaxDocBuffer int64
+	// ReadTimeout bounds how long ExtractReader waits for a document
+	// stream to make read progress. A stream that stalls longer fails
+	// with ErrReadStalled (the daemon maps it to HTTP 408) instead of
+	// holding the request's admission token and workers forever. 0
+	// disables the guard (the library default: local readers do not
+	// stall adversarially).
+	ReadTimeout time.Duration
+	// PlanCacheBytes bounds the summed estimated memory cost of cached
+	// plans (0 selects 64 MiB; negative means unlimited). Together with
+	// PlanCache it makes the cache cost-aware: many cheap plans and few
+	// expensive ones hit the same ceiling.
+	PlanCacheBytes int64
+	// TenantPlans and TenantPlanBytes carve the cache budgets up per
+	// tenant (Request.Tenant): at most TenantPlans entries and
+	// TenantPlanBytes estimated bytes per tenant, enforced by evicting
+	// the over-quota tenant's own least-recently-used plans. 0 selects
+	// the corresponding global bound (i.e. no per-tenant carve-up).
+	TenantPlans     int
+	TenantPlanBytes int64
 }
 
 // ErrDocTooLarge is returned when a document exceeds Config.MaxDocBuffer.
 var ErrDocTooLarge = errors.New("engine: document exceeds the configured buffer limit")
+
+// ErrDeadlineExceeded is returned when a request's context deadline
+// fires during planning or evaluation. It wraps (and is wrapped by
+// errors carrying) context.DeadlineExceeded, so both errors.Is checks
+// hold; the daemon maps it to HTTP 504 — the server gave up, unlike a
+// client-initiated cancellation (context.Canceled, HTTP 499).
+var ErrDeadlineExceeded = errors.New("engine: request deadline exceeded")
+
+// ErrReadStalled is returned by ExtractReader when the document stream
+// makes no read progress within Config.ReadTimeout. The daemon maps it
+// to HTTP 408.
+var ErrReadStalled = errors.New("engine: document stream stalled: no read progress within the configured timeout")
+
+// wrapCtxErr stamps a context deadline error with the engine's typed
+// ErrDeadlineExceeded so callers can separate "the server's deadline
+// budget ran out" (504) from a client cancellation (499) without
+// string-matching. Other errors pass through untouched.
+func wrapCtxErr(err error) error {
+	if err != nil && errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, ErrDeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrDeadlineExceeded, err)
+	}
+	return err
+}
 
 func (c Config) withDefaults() Config {
 	if c.PlanCache <= 0 {
@@ -89,6 +140,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.RequestWorkers <= 0 || c.RequestWorkers > c.Workers {
+		c.RequestWorkers = c.Workers
+	}
+	if c.PlanCacheBytes == 0 {
+		c.PlanCacheBytes = 64 << 20
 	}
 	if c.Batch <= 0 {
 		c.Batch = 16
@@ -117,6 +174,7 @@ type Stats struct {
 	Segments       uint64     `json:"segments"`
 	SegmentsPerSec float64    `json:"segments_per_sec"`
 	Workers        int        `json:"workers"`
+	RequestWorkers int        `json:"request_workers"`
 	Batch          int        `json:"batch"`
 	StreamForced   bool       `json:"stream_forced"`
 	PlanCache      CacheStats `json:"plan_cache"`
@@ -148,8 +206,13 @@ type Engine struct {
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	e := &Engine{
-		cfg:   cfg,
-		cache: newPlanCache(cfg.PlanCache),
+		cfg: cfg,
+		cache: newPlanCache(cacheConfig{
+			cap:         cfg.PlanCache,
+			maxBytes:    cfg.PlanCacheBytes,
+			tenantCap:   cfg.TenantPlans,
+			tenantBytes: cfg.TenantPlanBytes,
+		}),
 		start: time.Now(),
 	}
 	e.m = newMetrics(e)
@@ -162,11 +225,14 @@ func New(cfg Config) *Engine {
 // either a completed cached plan or a coalesced in-flight compilation.
 func (e *Engine) Plan(ctx context.Context, req Request) (plan *Plan, hit bool, err error) {
 	if err := ctx.Err(); err != nil {
-		return nil, false, err
+		return nil, false, wrapCtxErr(err)
 	}
 	t0 := time.Now()
-	defer func() { e.m.observeStage(StagePlan, time.Since(t0)) }()
-	return e.cache.get(ctx, req.key(), func() (*Plan, error) {
+	defer func() {
+		e.m.observeStage(StagePlan, time.Since(t0))
+		err = wrapCtxErr(err)
+	}()
+	return e.cache.get(ctx, req.Tenant, req.key(), func() (*Plan, error) {
 		p, err := compilePlan(req, e.cfg.StateLimit)
 		if err != nil {
 			return nil, err
@@ -203,10 +269,10 @@ func (e *Engine) Extract(ctx context.Context, plan *Plan, doc string) (*span.Rel
 		t1 := time.Now()
 		rel, err := parallel.SplitEvalCtx(ctx, plan.ps, segs, e.evalOpts())
 		e.m.observeStage(StageEval, time.Since(t1))
-		return rel, err
+		return rel, wrapCtxErr(err)
 	}
 	if err := ctx.Err(); err != nil {
-		return span.NewRelation(plan.p.Vars...), err
+		return span.NewRelation(plan.p.Vars...), wrapCtxErr(err)
 	}
 	t0 := time.Now()
 	rel := plan.p.Eval(doc) // Eval returns a deduplicated, sorted relation
@@ -251,8 +317,14 @@ func (e *Engine) WillStream(plan *Plan) bool {
 // guarantee is only as good as the operator's locality assertion.
 // Memory is bounded by Config.MaxDocBuffer on both paths.
 func (e *Engine) ExtractReader(ctx context.Context, plan *Plan, r io.Reader) (*span.Relation, error) {
+	if e.cfg.ReadTimeout > 0 {
+		// Guard both ingestion paths against a stalled stream: a reader
+		// that stops making progress fails the request with ErrReadStalled
+		// instead of pinning its admission token and workers.
+		r = newStallReader(r, e.cfg.ReadTimeout)
+	}
 	if !e.WillStream(plan) {
-		doc, err := e.readAllBounded(r)
+		doc, err := e.readAllBounded(ctx, r)
 		if err != nil {
 			return span.NewRelation(plan.p.Vars...), err
 		}
@@ -335,7 +407,7 @@ func (e *Engine) ExtractReader(ctx context.Context, plan *Plan, r io.Reader) (*s
 
 	t0 := time.Now()
 	rel, err := parallel.SplitEvalBatches(ctx, plan.ps, batches,
-		parallel.Options{Workers: e.cfg.Workers, Metrics: &e.m.exec})
+		parallel.Options{Workers: e.cfg.RequestWorkers, Metrics: &e.m.exec})
 	// On this path evaluation overlaps ingestion, so the eval stage's
 	// wall time includes time the workers spent blocked on the reader.
 	e.m.observeStage(StageEval, time.Since(t0))
@@ -363,7 +435,7 @@ func (e *Engine) ExtractReader(ctx context.Context, plan *Plan, r io.Reader) (*s
 			}
 		}
 	}
-	return rel, err
+	return rel, wrapCtxErr(err)
 }
 
 // Stats snapshots the engine counters, the per-stage time breakdown,
@@ -373,19 +445,20 @@ func (e *Engine) Stats() Stats {
 	up := time.Since(e.start)
 	segs := e.m.segments.Load()
 	s := Stats{
-		UptimeSec:    up.Seconds(),
-		Documents:    e.m.documents.Load(),
-		StreamedDocs: e.m.streamedDocs.Load(),
-		Bytes:        e.m.bytes.Load(),
-		Segments:     segs,
-		Workers:      e.cfg.Workers,
-		Batch:        e.cfg.Batch,
-		StreamForced: e.cfg.StreamIncremental,
-		PlanCache:    e.cache.stats(),
-		Stages:       e.m.stageStats(),
-		Segmenter:    e.m.segmenterStats(),
-		Executor:     e.m.execStats(e.cfg.Workers),
-		Localization: e.m.localizationStats(),
+		UptimeSec:      up.Seconds(),
+		Documents:      e.m.documents.Load(),
+		StreamedDocs:   e.m.streamedDocs.Load(),
+		Bytes:          e.m.bytes.Load(),
+		Segments:       segs,
+		Workers:        e.cfg.Workers,
+		RequestWorkers: e.cfg.RequestWorkers,
+		Batch:          e.cfg.Batch,
+		StreamForced:   e.cfg.StreamIncremental,
+		PlanCache:      e.cache.stats(),
+		Stages:         e.m.stageStats(),
+		Segmenter:      e.m.segmenterStats(),
+		Executor:       e.m.execStats(e.cfg.Workers),
+		Localization:   e.m.localizationStats(),
 	}
 	if up > 0 {
 		s.SegmentsPerSec = float64(segs) / up.Seconds()
@@ -394,22 +467,34 @@ func (e *Engine) Stats() Stats {
 }
 
 func (e *Engine) evalOpts() parallel.Options {
-	return parallel.Options{Workers: e.cfg.Workers, Batch: e.cfg.Batch, Metrics: &e.m.exec}
+	return parallel.Options{Workers: e.cfg.RequestWorkers, Batch: e.cfg.Batch, Metrics: &e.m.exec}
 }
 
 // readAllBounded reads the whole stream, failing with ErrDocTooLarge
-// once it exceeds Config.MaxDocBuffer.
-func (e *Engine) readAllBounded(r io.Reader) (string, error) {
-	if e.cfg.MaxDocBuffer <= 0 {
-		doc, err := io.ReadAll(r)
-		return string(doc), err
+// once it exceeds Config.MaxDocBuffer. The context is checked between
+// reads so a request whose deadline fires mid-upload fails promptly
+// (typed via wrapCtxErr) instead of buffering a slow body forever; a
+// reader that stops returning at all is the stall guard's job
+// (Config.ReadTimeout), not the context's.
+func (e *Engine) readAllBounded(ctx context.Context, r io.Reader) (string, error) {
+	var buf []byte
+	chunk := make([]byte, e.cfg.ChunkSize)
+	for {
+		if err := ctx.Err(); err != nil {
+			return "", wrapCtxErr(err)
+		}
+		n, err := r.Read(chunk)
+		if n > 0 {
+			if e.cfg.MaxDocBuffer > 0 && int64(len(buf)+n) > e.cfg.MaxDocBuffer {
+				return "", fmt.Errorf("%w (> %d bytes)", ErrDocTooLarge, e.cfg.MaxDocBuffer)
+			}
+			buf = append(buf, chunk[:n]...)
+		}
+		if err == io.EOF {
+			return string(buf), nil
+		}
+		if err != nil {
+			return "", err
+		}
 	}
-	doc, err := io.ReadAll(io.LimitReader(r, e.cfg.MaxDocBuffer+1))
-	if err != nil {
-		return "", err
-	}
-	if int64(len(doc)) > e.cfg.MaxDocBuffer {
-		return "", fmt.Errorf("%w (> %d bytes)", ErrDocTooLarge, e.cfg.MaxDocBuffer)
-	}
-	return string(doc), nil
 }

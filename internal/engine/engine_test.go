@@ -473,10 +473,111 @@ func TestExtractReaderCancelWithStalledReader(t *testing.T) {
 	}()
 	select {
 	case err := <-done:
-		if err != context.DeadlineExceeded {
-			t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+		// The deadline error must carry both the stdlib sentinel and the
+		// engine's typed ErrDeadlineExceeded (the daemon's 504 mapping).
+		if !errors.Is(err, context.DeadlineExceeded) || !errors.Is(err, ErrDeadlineExceeded) {
+			t.Fatalf("err = %v, want context.DeadlineExceeded wrapped in ErrDeadlineExceeded", err)
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("ExtractReader did not return after cancellation with a stalled reader")
+	}
+}
+
+// trickleStallReader yields its data, then blocks forever — a client
+// that opened a streamed upload and went silent without closing it.
+type trickleStallReader struct {
+	data    []byte
+	off     int
+	unblock chan struct{}
+}
+
+func (r *trickleStallReader) Read(p []byte) (int, error) {
+	if r.off < len(r.data) {
+		n := copy(p, r.data[r.off:])
+		r.off += n
+		return n, nil
+	}
+	<-r.unblock
+	return 0, io.EOF
+}
+
+func TestExtractReaderStallTimeout(t *testing.T) {
+	// With ReadTimeout set, a stream that stops making read progress must
+	// fail promptly with the typed ErrReadStalled (the daemon's 408
+	// mapping) — on both ingestion paths.
+	for _, stream := range []bool{false, true} {
+		e := New(Config{Workers: 2, Batch: 4, ReadTimeout: 50 * time.Millisecond})
+		req := Request{Spanner: emailFormula}
+		if stream {
+			req.Splitter = sentenceFormula
+		}
+		plan := mustPlan(t, e, req)
+		if e.WillStream(plan) != stream {
+			t.Fatalf("WillStream = %v, want %v", !stream, stream)
+		}
+		r := &trickleStallReader{data: []byte(emailDoc), unblock: make(chan struct{})}
+		done := make(chan error, 1)
+		go func() {
+			_, err := e.ExtractReader(context.Background(), plan, r)
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if !errors.Is(err, ErrReadStalled) {
+				t.Fatalf("stream=%v: err = %v, want ErrReadStalled", stream, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("stream=%v: ExtractReader did not return on a stalled stream", stream)
+		}
+		close(r.unblock)
+	}
+}
+
+func TestExtractReaderStallTimeoutNotTriggeredByProgress(t *testing.T) {
+	// A slow but progressing stream must NOT trip the guard: the timeout
+	// bounds time-to-next-byte, not total transfer time.
+	e := New(Config{Workers: 2, ReadTimeout: 80 * time.Millisecond})
+	plan := mustPlan(t, e, Request{Spanner: emailFormula, Splitter: sentenceFormula})
+	pr, pw := io.Pipe()
+	go func() {
+		for _, b := range []byte(emailDoc) {
+			pw.Write([]byte{b})
+			time.Sleep(5 * time.Millisecond) // well under the timeout, total well over it
+		}
+		pw.Close()
+	}()
+	rel, err := e.ExtractReader(context.Background(), plan, pr)
+	if err != nil {
+		t.Fatalf("slow-but-progressing stream failed: %v", err)
+	}
+	want, werr := e.Extract(context.Background(), plan, emailDoc)
+	if werr != nil {
+		t.Fatalf("reference Extract: %v", werr)
+	}
+	if rel.String() != want.String() {
+		t.Fatalf("stalled-guarded result diverged:\n got %s\nwant %s", rel, want)
+	}
+}
+
+func TestRequestWorkersCapsParallelismNotResults(t *testing.T) {
+	// A per-request worker budget must not change results, and the
+	// snapshot must report it.
+	full := New(Config{Workers: 4})
+	capped := New(Config{Workers: 4, RequestWorkers: 1})
+	if got := capped.Stats().RequestWorkers; got != 1 {
+		t.Fatalf("Stats().RequestWorkers = %d, want 1", got)
+	}
+	req := Request{Spanner: emailFormula, Splitter: sentenceFormula}
+	doc := strings.Repeat(emailDoc+" ", 200)
+	want, err := full.Extract(context.Background(), mustPlan(t, full, req), doc)
+	if err != nil {
+		t.Fatalf("full: %v", err)
+	}
+	got, err := capped.Extract(context.Background(), mustPlan(t, capped, req), doc)
+	if err != nil {
+		t.Fatalf("capped: %v", err)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("RequestWorkers=1 changed results:\n got %s\nwant %s", got, want)
 	}
 }

@@ -51,13 +51,20 @@ type Request struct {
 	// self-splittability (P_S = P); when given, it checks
 	// split-correctness of (P, P_S, S).
 	SplitSpanner string
+	// Tenant scopes the plan in the cache's per-tenant quotas (the
+	// daemon fills it from the configured tenant header). It is part of
+	// the cache key: tenants never share entries, so one tenant's churn
+	// can only evict that tenant's plans and quota accounting stays
+	// unambiguous. Empty is the anonymous default tenant.
+	Tenant string
 }
 
 // key is the plan-cache key. Fields are length-prefixed so no byte
 // sequence inside a formula (NUL included — it is a legal literal) can
 // make two distinct requests collide.
 func (r Request) key() string {
-	return fmt.Sprintf("%d:%s%d:%s%d:%s",
+	return fmt.Sprintf("%d:%s%d:%s%d:%s%d:%s",
+		len(r.Tenant), r.Tenant,
 		len(r.Spanner), r.Spanner, len(r.Splitter), r.Splitter, len(r.SplitSpanner), r.SplitSpanner)
 }
 
@@ -90,6 +97,36 @@ func (p *Plan) SplitterOf() *core.Splitter { return p.s }
 
 // Vars returns the plan's output variables.
 func (p *Plan) Vars() []string { return append([]string(nil), p.p.Vars...) }
+
+// cost estimates the plan's resident memory in bytes for the cache's
+// byte budgets: a per-plan baseline (entry bookkeeping, formula
+// strings) plus a per-state/per-edge charge for every distinct
+// automaton the plan holds. The compiled evaluation caches (byte-class
+// tables, lazy DFAs) grow with the same quantities, so the estimate is
+// monotone in the real footprint even though it does not measure the
+// lazily-built parts.
+func (p *Plan) cost() int64 {
+	const (
+		base       = 512
+		perState   = 96
+		perEdge    = 48
+		perFormula = 1 // per byte of formula text
+	)
+	c := int64(base)
+	c += int64(len(p.Req.Spanner)+len(p.Req.Splitter)+len(p.Req.SplitSpanner)) * perFormula
+	add := func(states, edges int) { c += int64(states)*perState + int64(edges)*perEdge }
+	if p.p != nil {
+		add(p.p.NumStates(), p.p.NumEdges())
+	}
+	if p.ps != nil && p.ps != p.p {
+		add(p.ps.NumStates(), p.ps.NumEdges())
+	}
+	if p.s != nil {
+		a := p.s.Automaton()
+		add(a.NumStates(), a.NumEdges())
+	}
+	return c
+}
 
 // compilePlan builds a Plan from a request: it compiles the formulas,
 // runs the relevant decision procedures under the state limit, and picks

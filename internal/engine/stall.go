@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"io"
+	"time"
+)
+
+// stallReader enforces a read-progress timeout on a document stream.
+// Before it existed, ExtractReader on a stalled request body (a client
+// that opened a streamed upload and then went silent without closing
+// the connection) blocked its producer goroutine in Read indefinitely
+// and — worse — held an admission token and the request's executor
+// workers with it. stallReader turns a stall into a prompt, typed
+// ErrReadStalled (the daemon maps it to HTTP 408), which unwinds the
+// whole request: the producer reports the error, the dispatch channel
+// closes, and the workers move on.
+//
+// An arbitrary io.Reader cannot be interrupted mid-Read, so the
+// underlying reads run on a pump goroutine and the consumer waits for
+// either data or the timeout. The pump rotates three fixed buffers
+// (see pump for why three) — the consumer's unconsumed remainder is
+// never overwritten, and steady-state operation allocates nothing. On a
+// timeout the pump goroutine stays parked in the underlying Read until
+// that read returns (for an HTTP body, when the server tears the
+// request down); it then exits without touching the consumer again.
+type stallReader struct {
+	r       io.Reader
+	timeout time.Duration
+
+	res     chan stallChunk // pump → consumer, capacity 1 (one chunk of readahead)
+	started bool
+	stalled bool // sticky: once timed out, every Read fails
+
+	cur  stallChunk // chunk currently being consumed
+	off  int        // consumed prefix of cur.data
+	done bool       // cur.err was delivered; underlying stream is finished
+}
+
+type stallChunk struct {
+	data []byte
+	err  error
+}
+
+// newStallReader wraps r; timeout must be positive.
+func newStallReader(r io.Reader, timeout time.Duration) *stallReader {
+	return &stallReader{r: r, timeout: timeout, res: make(chan stallChunk, 1)}
+}
+
+// pump owns the underlying reader, rotating through three buffers.
+// Three, not two: at any instant the consumer may hold chunk k, the
+// capacity-1 channel chunk k+1, and the pump is reading chunk k+2 — so
+// buffer k is reusable only at chunk k+3. The channel provides the
+// proof: the send of chunk k+2 completes only after the consumer took
+// chunk k+1, and the consumer takes a chunk only after it exhausted the
+// previous one, so by the time the pump starts chunk k+3 the consumer's
+// last read of buffer k happened-before it.
+func (s *stallReader) pump() {
+	const bufSize = 64 << 10
+	bufs := [3][]byte{make([]byte, bufSize), make([]byte, bufSize), make([]byte, bufSize)}
+	for i := 0; ; i = (i + 1) % 3 {
+		n, err := s.r.Read(bufs[i])
+		s.res <- stallChunk{data: bufs[i][:n], err: err}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// Read serves buffered bytes first, then waits up to the timeout for
+// the pump's next chunk. A chunk's data and error are delivered in
+// order (data first), matching io.Reader semantics.
+func (s *stallReader) Read(p []byte) (int, error) {
+	if s.stalled {
+		return 0, ErrReadStalled
+	}
+	if !s.started {
+		s.started = true
+		go s.pump()
+	}
+	for s.off == len(s.cur.data) {
+		if s.done {
+			return 0, s.cur.err
+		}
+		if s.cur.err != nil {
+			s.done = true
+			return 0, s.cur.err
+		}
+		timer := time.NewTimer(s.timeout)
+		select {
+		case c := <-s.res:
+			timer.Stop()
+			s.cur, s.off = c, 0
+		case <-timer.C:
+			s.stalled = true
+			return 0, ErrReadStalled
+		}
+	}
+	n := copy(p, s.cur.data[s.off:])
+	s.off += n
+	return n, nil
+}

@@ -165,7 +165,11 @@ func (x *executor) worker(id int) {
 }
 
 // trySteal sweeps every other worker's deque once, starting from a
-// random victim so idle workers do not convoy on the same one.
+// random victim so idle workers do not convoy on the same one. The
+// sweep re-checks cancellation per victim: on a cancelled run a worker
+// must not pick up yet another chunk of a huge document's backlog —
+// without the check, a request whose deadline fired could keep every
+// worker busy for a full extra sweep of stolen work.
 func (x *executor) trySteal(id int, rng *uint32) (chunk, bool) {
 	n := len(x.deques)
 	*rng ^= *rng << 13
@@ -173,6 +177,9 @@ func (x *executor) trySteal(id int, rng *uint32) (chunk, bool) {
 	*rng ^= *rng << 5
 	start := int(*rng % uint32(n))
 	for k := 0; k < n; k++ {
+		if x.ctx.Err() != nil {
+			return chunk{}, false
+		}
 		v := start + k
 		if v >= n {
 			v -= n
