@@ -7,18 +7,27 @@
 // roofline, and the streamed-ingest snapshot (READER) that tracks the
 // compiled incremental segmenter and the engine's reader paths.
 //
+// A fourth snapshot, PREFILTER, measures the literal-prefilter fast
+// paths (factor admission gate + trigger-byte skip loops) against
+// prefilter-disabled copies of the same automata on the three standard
+// corpora.
+//
 // Usage:
 //
-//	splitbench [-exp all|EVAL|SPLIT|READER|E1|...|T8] [-bytes n] [-docs n] [-workers n] [-seed n] [-json file]
+//	splitbench [-exp all|EVAL|SPLIT|READER|PREFILTER|E1|...|T8] [-bytes n] [-docs n] [-workers n] [-seed n] [-json file]
 //
-// With -json, the EVAL, SPLIT and READER experiments additionally write
-// their measurements (MB/s on the standard corpora) as a
-// machine-readable snapshot, e.g. BENCH_PR3.json (EVAL), BENCH_PR5.json
-// (SPLIT) or BENCH_PR7.json (READER) — CI runs short versions of each
-// to keep the benchmark path compiling and to record the performance
-// trajectory. SPLIT verifies every split datapoint byte-identical to
-// sequential evaluation before timing it; READER verifies the chunked
-// resumable scan span-identical to the reference splitter.
+// Experiment names are case-insensitive; an unknown name is a hard
+// error listing the valid ones. With -json, the EVAL, SPLIT, READER and
+// PREFILTER experiments additionally write their measurements (MB/s on
+// the standard corpora) as a machine-readable snapshot, e.g.
+// BENCH_PR3.json (EVAL), BENCH_PR5.json (SPLIT), BENCH_PR7.json
+// (READER) or BENCH_PR9.json (PREFILTER) — CI runs short versions of
+// each to keep the benchmark path compiling and to record the
+// performance trajectory. SPLIT verifies every split datapoint
+// byte-identical to sequential evaluation before timing it; READER
+// verifies the chunked resumable scan span-identical to the reference
+// splitter; PREFILTER verifies every filtered datapoint byte-identical
+// to its unfiltered twin.
 package main
 
 import (
@@ -46,7 +55,7 @@ import (
 )
 
 var (
-	expFlag  = flag.String("exp", "all", "experiment id (EVAL, SPLIT, E1..E5, T1..T8) or all")
+	expFlag  = flag.String("exp", "all", "experiment id (EVAL, SPLIT, READER, PREFILTER, E1..E5, T1..T8; case-insensitive) or all")
 	bytesN   = flag.Int("bytes", 1<<21, "corpus size in bytes for E1-E3 and EVAL")
 	docsN    = flag.Int("docs", 3000, "collection size for E4-E5")
 	workers  = flag.Int("workers", 5, "worker count (the paper uses 5 cores/nodes)")
@@ -61,37 +70,57 @@ var lastEngineStats *engine.Stats
 
 func main() {
 	flag.Parse()
-	exps := map[string]func(){
-		"EVAL":   evalThroughput,
-		"SPLIT":  splitThroughput,
-		"READER": readerThroughput,
-		"E1":     func() { ngramSpeedup("E1 Wikipedia 2-grams (paper: 2.10x)", corpus.Wikipedia(*seed, *bytesN), 2) },
-		"E2":     func() { ngramSpeedup("E2 Wikipedia 3-grams (paper: 3.11x)", corpus.Wikipedia(*seed, *bytesN), 3) },
-		"E3":     func() { ngramSpeedup("E3 PubMed 2-grams    (paper: 1.90x)", corpus.PubMed(*seed, *bytesN), 2) },
-		"E4":     e4Reuters,
-		"E5":     e5Amazon,
-		"T1":     t1Containment,
-		"T2":     t2WeakDeterminism,
-		"T3":     t3Disjointness,
-		"T4":     t4Cover,
-		"T5":     t5SplitCorrect,
-		"T6":     t6CanonicalSize,
-		"T7":     t7Splittability,
-		"T8":     t8Reasoning,
-	}
-	order := []string{"EVAL", "SPLIT", "READER", "E1", "E2", "E3", "E4", "E5", "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8"}
-	if *expFlag == "all" {
+	exps, order := experiments()
+	if strings.EqualFold(*expFlag, "all") {
 		for _, id := range order {
 			exps[id]()
 		}
 		return
 	}
-	run, ok := exps[*expFlag]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *expFlag)
+	run, err := resolveExperiment(*expFlag, exps, order)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	run()
+}
+
+// experiments returns the experiment registry and its canonical run
+// order ("all" runs them in this order).
+func experiments() (map[string]func(), []string) {
+	exps := map[string]func(){
+		"EVAL":      evalThroughput,
+		"SPLIT":     splitThroughput,
+		"READER":    readerThroughput,
+		"PREFILTER": prefilterThroughput,
+		"E1":        func() { ngramSpeedup("E1 Wikipedia 2-grams (paper: 2.10x)", corpus.Wikipedia(*seed, *bytesN), 2) },
+		"E2":        func() { ngramSpeedup("E2 Wikipedia 3-grams (paper: 3.11x)", corpus.Wikipedia(*seed, *bytesN), 3) },
+		"E3":        func() { ngramSpeedup("E3 PubMed 2-grams    (paper: 1.90x)", corpus.PubMed(*seed, *bytesN), 2) },
+		"E4":        e4Reuters,
+		"E5":        e5Amazon,
+		"T1":        t1Containment,
+		"T2":        t2WeakDeterminism,
+		"T3":        t3Disjointness,
+		"T4":        t4Cover,
+		"T5":        t5SplitCorrect,
+		"T6":        t6CanonicalSize,
+		"T7":        t7Splittability,
+		"T8":        t8Reasoning,
+	}
+	order := []string{"EVAL", "SPLIT", "READER", "PREFILTER", "E1", "E2", "E3", "E4", "E5", "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8"}
+	return exps, order
+}
+
+// resolveExperiment maps a -exp value to its experiment,
+// case-insensitively. An unknown name is a hard error that lists every
+// valid experiment, so a typo'd CI invocation fails loudly instead of
+// silently benchmarking the wrong thing.
+func resolveExperiment(name string, exps map[string]func(), order []string) (func(), error) {
+	if run, ok := exps[strings.ToUpper(name)]; ok {
+		return run, nil
+	}
+	return nil, fmt.Errorf("unknown experiment %q: valid experiments are all, %s",
+		name, strings.Join(order, ", "))
 }
 
 // perfResult is one throughput measurement of the EVAL snapshot.
@@ -295,6 +324,98 @@ func readerThroughput() {
 	}
 	results = append(results, engineStreamingResults(dense, measure)...)
 	writeSnapshot("READER", results)
+}
+
+// prefilterThroughput is the PR 9 literal-prefilter snapshot: the
+// NegativeSentiment extractor (mandatory factor "bad ") and the
+// sentence splitter (no factor, but trigger-skippable scan states) on
+// the three standard corpora, each measured with the prefilter on and
+// off ("/off" datapoints). The sparse and non-matching corpora are
+// where the factor gate and the trigger-byte skip loop should approach
+// memchr speed; the dense corpus is the regression guard — the streak
+// heuristic must keep the skip machinery out of the way there. Every
+// filtered datapoint is verified byte-identical to its unfiltered twin
+// before anything is timed.
+func prefilterThroughput() {
+	header("PREFILTER literal-prefilter throughput (MB/s)")
+	on := library.NegativeSentiment()
+	on.Prepare()
+	off := library.NegativeSentiment()
+	off.DisablePrefilter()
+	off.Prepare()
+	if pf := on.Prefilter(); pf.Reason != vsa.PrefilterOK {
+		fmt.Fprintf(os.Stderr, "PREFILTER: NegativeSentiment factor gate not armed: %+v\n", pf)
+		os.Exit(1)
+	}
+
+	dense := strings.Join(corpus.Reviews(*seed, *bytesN/256), "\n")
+	matchEvery := 64 << 10
+	if matchEvery > *bytesN/4 {
+		matchEvery = *bytesN/4 + 1
+	}
+	sparse := corpus.SparseSentiment(*seed, *bytesN, matchEvery)
+	nonMatching := corpus.Wikipedia(*seed, *bytesN)
+	corpora := []struct{ name, doc string }{
+		{"dense", dense}, {"sparse", sparse}, {"nonmatching", nonMatching},
+	}
+	for _, c := range corpora {
+		if !on.Eval(c.doc).Equal(off.Eval(c.doc)) {
+			fmt.Fprintf(os.Stderr, "PREFILTER: filtered Eval disagrees with unfiltered on %s corpus\n", c.name)
+			os.Exit(1)
+		}
+		if on.EvalBool(c.doc) != off.EvalBool(c.doc) {
+			fmt.Fprintf(os.Stderr, "PREFILTER: filtered EvalBool disagrees with unfiltered on %s corpus\n", c.name)
+			os.Exit(1)
+		}
+	}
+
+	sentSrc := "(x{[^.!?\\n]*})([.!?\\n][^.!?\\n]*)*|" +
+		"[^.!?\\n]*([.!?\\n][^.!?\\n]*)*[.!?\\n](x{[^.!?\\n]*})([.!?\\n][^.!?\\n]*)*"
+	sentOn := core.MustSplitter(regexformula.MustCompile(sentSrc))
+	sentOffAuto := regexformula.MustCompile(sentSrc)
+	sentOffAuto.DisablePrefilter()
+	sentOff := core.MustSplitter(sentOffAuto)
+	for _, c := range corpora {
+		got, want := sentOn.Split(c.doc), sentOff.Split(c.doc)
+		if len(got) != len(want) {
+			fmt.Fprintf(os.Stderr, "PREFILTER: filtered Split found %d spans, unfiltered %d on %s corpus\n", len(got), len(want), c.name)
+			os.Exit(1)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				fmt.Fprintf(os.Stderr, "PREFILTER: Split span %d differs on %s corpus: %v vs %v\n", i, c.name, got[i], want[i])
+				os.Exit(1)
+			}
+		}
+	}
+
+	var results []perfResult
+	for _, c := range corpora {
+		doc := c.doc
+		results = append(results,
+			measure("EvalBool", c.name, doc, func() int {
+				if on.EvalBool(doc) {
+					return 1
+				}
+				return 0
+			}),
+			measure("EvalBool/off", c.name, doc, func() int {
+				if off.EvalBool(doc) {
+					return 1
+				}
+				return 0
+			}),
+			measure("Eval", c.name, doc, func() int { return on.Eval(doc).Len() }),
+			measure("Eval/off", c.name, doc, func() int { return off.Eval(doc).Len() }),
+		)
+	}
+	results = append(results,
+		measure("Split", "sparse", sparse, func() int { return len(sentOn.Split(sparse)) }),
+		measure("Split/off", "sparse", sparse, func() int { return len(sentOff.Split(sparse)) }),
+		measure("Split", "dense", dense, func() int { return len(sentOn.Split(dense)) }),
+		measure("Split/off", "dense", dense, func() int { return len(sentOff.Split(dense)) }),
+	)
+	writeSnapshot("PREFILTER", results)
 }
 
 // engineStreamingResults measures the engine's split evaluation of a

@@ -62,9 +62,14 @@ type scanPayload struct {
 // every lazydfa client it is warmed lazily and shared: concurrent
 // ScanRuns walk one transition cache under the engine's read lock.
 type splitScanner struct {
-	classOf [256]uint8
-	dfa     *lazydfa.DFA[scanPayload]
-	start   int32
+	classOf  [256]uint8
+	nclasses int
+	dfa      *lazydfa.DFA[scanPayload]
+	start    int32
+	// skips memoizes per-DFA-state trigger sets for the scan skip loop
+	// (see internal/vsa/prefilter.go); noSkip honors DisablePrefilter.
+	skips  lazydfa.SkipCache
+	noSkip bool
 }
 
 // scanner returns the compiled scanner, building it on first use, or
@@ -122,7 +127,7 @@ func buildSplitScanner(s *Splitter) *splitScanner {
 		}
 	}
 
-	sc := &splitScanner{classOf: classOf}
+	sc := &splitScanner{classOf: classOf, nclasses: nc, noSkip: a.PrefilterDisabled()}
 	sc.dfa = lazydfa.New(lazydfa.Config[scanPayload]{
 		Classes: nc,
 		States:  n,
@@ -204,6 +209,31 @@ func buildSplitScanner(s *Splitter) *splitScanner {
 	return sc
 }
 
+// skipSet builds the synchronized skip set around DFA state cur for the
+// scan skip loop: trigger bytes are those whose class desynchronizes the
+// set, leaves it, or raises a split event in some member. Every other
+// byte maps the whole set to one event-free state, so a jump over a run
+// of them changes neither the pending boundary nor the emitted spans,
+// and the landing state is the sync state of the last skipped byte — the
+// skip is byte-exact, never a semantic shortcut. Returns nil when cur
+// cannot skip (no synchronized set, too many triggers, or an overflowed
+// transition row).
+func (sc *splitScanner) skipSet(w *lazydfa.Walker[scanPayload], cur int32) *lazydfa.SkipSet {
+	return vsa.BuildSkipSet(sc.nclasses, sc.classOf[:],
+		func(q int32) bool { return q > lazydfa.Dead },
+		func(q int32, c uint8) bool { return w.States[q].Payload.ev[c] != 0 },
+		func(q int32, c uint8) (int32, bool) {
+			t := w.States[q].Trans(c)
+			if t == lazydfa.Unknown {
+				t = w.Resolve(q, c)
+			}
+			if t == lazydfa.Overflow {
+				return 0, false
+			}
+			return t, true
+		}, cur)
+}
+
 // usefulStates marks the states lying on some accepting run: reachable
 // from the start and able to reach a final-bearing state.
 func usefulStates(a *vsa.Automaton) []bool {
@@ -266,6 +296,12 @@ type ScanRun struct {
 	lastOpen int // 1-based boundary of the last open/wrap event; 0 = none
 	last     span.Span
 	bailed   bool
+	// gate decides when the scan may jump over trigger-free runs (see
+	// internal/vsa/prefilter.go). Its engagement state persists across
+	// Feed calls so tiny chunks (streaming readers feed as little as one
+	// byte) still reach the skip threshold; per-chunk search state is
+	// rebound by scanChunk.
+	gate lazydfa.SkipGate
 }
 
 // NewScanRun returns a fresh resumable scan, or ok=false when the
@@ -328,6 +364,25 @@ func scanChunk[T ~string | ~[]byte](r *ScanRun, chunk T, out []span.Span) ([]spa
 	w := sc.dfa.Walk()
 	cur := r.state
 	ok := true
+	// Skip-loop machinery (see internal/vsa/prefilter.go): idx is the
+	// vectorized byte search of this chunk's concrete type, hoisted so
+	// the hot loop never boxes the chunk. A named ~string/~[]byte type
+	// would leave idx nil and simply never skip.
+	var idx func(from, to int, b byte) int
+	if !sc.noSkip {
+		switch d := any(chunk).(type) {
+		case string:
+			idx = lazydfa.StringIndex(d)
+		case []byte:
+			idx = lazydfa.BytesIndex(d)
+		}
+	}
+	if idx != nil {
+		if !r.gate.Ready() {
+			r.gate.Init(&sc.skips)
+		}
+		r.gate.Bind(func(q int32) *lazydfa.SkipSet { return sc.skipSet(&w, q) }, idx)
+	}
 	for i := 0; i < len(chunk); i++ {
 		if i&4095 == 4095 {
 			w.Yield() // let pending writers in; see lazydfa.Walker
@@ -367,6 +422,22 @@ func scanChunk[T ~string | ~[]byte](r *ScanRun, chunk T, out []span.Span) ([]spa
 		if t == lazydfa.Overflow {
 			ok = false
 			break
+		}
+		if idx != nil {
+			// The scan is confined to a synchronized, event-free state set:
+			// jump to the next byte that can break out or raise an event.
+			// Skipped bytes are class-proven event-free, so spans, pending
+			// and Anchor come out byte-identical to the stepped scan, and
+			// the landing state is the sync state of the last skipped byte.
+			if sk := r.gate.Step(cur, t); sk != nil {
+				if j, _ := r.gate.Jump(sk, i+1, len(chunk)); j > i+1 {
+					if j-(i+1) >= 4096 {
+						w.Yield()
+					}
+					t = sk.Sync(chunk[j-1])
+					i = j - 1 // byte j's events re-checked from the sync state
+				}
+			}
 		}
 		cur = t
 	}

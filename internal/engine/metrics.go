@@ -136,6 +136,12 @@ func newMetrics(e *Engine) *Metrics {
 	r.BindCounter("spanners_eval_window_bytes_total", "bytes inside simulated match windows", &m.eval.WindowBytes)
 	r.BindCounter("spanners_eval_empty_total", "instrumented evaluations rejected by the forward scan alone", &m.eval.EmptyDocs)
 	r.BindCounter("spanners_eval_fallbacks_total", "instrumented evaluations on the whole-document fallback path", &m.eval.Fallbacks)
+	r.BindCounter("spanners_eval_prefilter_skipped_bytes_total", "bytes skipped by the literal prefilter (factor gate + trigger-byte jumps)", &m.eval.PrefilterSkippedBytes)
+	r.BindCounter("spanners_eval_prefilter_candidates_total", "instrumented evaluations that passed the mandatory-factor gate", &m.eval.PrefilterCandidates)
+	for rs := vsa.PrefilterReason(0); int(rs) < vsa.NumPrefilterReasons; rs++ {
+		r.BindCounter(`spanners_eval_prefilter_disabled_total{reason="`+rs.String()+`"}`,
+			"instrumented evaluations by prefilter admission-gate status", &m.eval.PrefilterDisabled[rs])
+	}
 
 	return m
 }

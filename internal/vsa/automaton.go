@@ -54,6 +54,14 @@ type Automaton struct {
 	localOnce sync.Once
 	localVal  *localizer
 
+	// Lazily extracted literal prefilter (mandatory factor + reason; see
+	// prefilter.go), shared by every evaluation of this automaton.
+	// prefDisabled turns the prefilter off (DisablePrefilter) — set
+	// before freezing, like any change to the compiled state.
+	prefOnce     sync.Once
+	prefVal      *prefilterState
+	prefDisabled bool
+
 	// frozen is set when the first evaluation cache is built. Mutating a
 	// frozen automaton would silently serve stale cached results, so
 	// AddEdge/AddFinal panic instead; construct a Clone to modify.

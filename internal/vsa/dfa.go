@@ -2,6 +2,7 @@ package vsa
 
 import (
 	"math/bits"
+	"strings"
 	"sync"
 
 	"repro/internal/alphabet"
@@ -48,6 +49,10 @@ type evalProg struct {
 	hasFinal []bool
 	uni      []bool // suffix-universality, shared with the reference path
 	dfa      *lazydfa.DFA[bool]
+	// skips memoizes per-DFA-state trigger sets for the EvalBool skip
+	// loop (see prefilter.go); entries are built on demand as scans
+	// streak on self-looping states.
+	skips lazydfa.SkipCache
 }
 
 // Sentinel DFA transition values, aliased from internal/lazydfa. State 0
@@ -80,16 +85,18 @@ func (a *Automaton) prog() *evalProg {
 }
 
 // Prepare forces construction of the evaluation caches (byte-class table,
-// compiled transitions, suffix-universality, and both match-window DFAs —
+// compiled transitions, suffix-universality, both match-window DFAs —
 // the forward end-detection scan and the reversed start-narrowing
-// program) so that the first evaluation does not pay for them. It freezes
-// the automaton: any later AddEdge/AddFinal panics. The engine calls
-// Prepare when compiling a plan, so plans served from the cache carry
-// warmed evaluators.
+// program — and the literal prefilter's factor extraction) so that the
+// first evaluation does not pay for them. It freezes the automaton: any
+// later AddEdge/AddFinal panics. The engine calls Prepare when compiling
+// a plan, so plans served from the cache carry warmed evaluators and the
+// memoized prefilter factors.
 func (a *Automaton) Prepare() {
 	a.prog()
 	a.suffixUniversality()
 	a.localizer()
+	a.prefilter()
 }
 
 func (a *Automaton) buildProg() *evalProg {
@@ -152,9 +159,20 @@ func (a *Automaton) EvalBool(doc string) bool {
 	// acquisitions, so yielding periodically keeps one long document from
 	// serializing the whole worker pool behind a warm-up miss.
 	const rlockChunk = 1 << 12
+	if pf := a.prefilter().info; pf.Factor != "" && !strings.Contains(doc, pf.Factor) {
+		// The factor is mandatory in every accepted document (see
+		// prefilter.go), so its absence decides rejection without a scan.
+		return false
+	}
 	p := a.prog()
 	w := p.dfa.Walk()
 	cur := dfaStart
+	var gate lazydfa.SkipGate
+	if !a.prefDisabled {
+		gate.Init(&p.skips)
+		gate.Bind(func(q int32) *lazydfa.SkipSet { return p.skipSetBool(&w, q) },
+			lazydfa.StringIndex(doc))
+	}
 	for i := 0; i < len(doc); i++ {
 		if i&(rlockChunk-1) == rlockChunk-1 {
 			w.Yield()
@@ -172,6 +190,19 @@ func (a *Automaton) EvalBool(doc string) bool {
 			set := append([]int32(nil), w.States[cur].Set...)
 			w.Release()
 			return p.simBool(set, doc[i:])
+		}
+		if !a.prefDisabled {
+			// The walk has been confined to a couple of states for a while:
+			// jump to the next byte that can break out (prefilter.go).
+			if s := gate.Step(cur, t); s != nil {
+				if j, _ := gate.Jump(s, i+1, len(doc)); j > i+1 {
+					if j-(i+1) >= rlockChunk {
+						w.Yield()
+					}
+					t = s.Sync(doc[j-1])
+					i = j - 1
+				}
+			}
 		}
 		cur = t
 	}

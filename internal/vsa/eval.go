@@ -206,12 +206,35 @@ func (a *Automaton) EvalAppend(doc string, by span.Span, rel *span.Relation, are
 		m.DocBytes.Add(uint64(len(doc)))
 		t0 = time.Now()
 	}
+	if pf := a.prefilter().info; pf.Factor != "" || m != nil {
+		if m != nil {
+			m.PrefilterDisabled[pf.Reason].Inc()
+		}
+		if pf.Factor != "" && !strings.Contains(doc, pf.Factor) {
+			// Mandatory-factor admission gate: every accepted document
+			// contains pf.Factor (see prefilter.go), and the automaton is
+			// functional, so a document without it has an empty relation.
+			// One vectorized substring search replaces the whole scan.
+			if m != nil {
+				m.PrefilterSkippedBytes.Add(uint64(len(doc)))
+				m.LocalizeNS.AddDuration(time.Since(t0))
+				m.EmptyDocs.Inc()
+			}
+			return
+		}
+		if m != nil {
+			m.PrefilterCandidates.Inc()
+		}
+	}
 	p := a.prog()
 	delta := by.Start - 1
 	if loc := a.localizer(); loc.ok {
 		ws := windowPool.Get().(*windowScratch)
 		defer windowPool.Put(ws)
 		if loc.scan.forward(p, doc, ws) {
+			if m != nil && ws.skippedBytes > 0 {
+				m.PrefilterSkippedBytes.Add(uint64(ws.skippedBytes))
+			}
 			if len(ws.ends) == 0 && !ws.finalsAtEnd {
 				// No boundary where a match can complete: ⟦a⟧(d) = ∅,
 				// and the simulation machinery was never touched.

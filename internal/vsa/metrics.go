@@ -42,6 +42,20 @@ type EvalMetrics struct {
 	WindowBytes obs.Counter
 	EmptyDocs   obs.Counter
 	Fallbacks   obs.Counter
+	// PrefilterSkippedBytes counts document bytes the literal prefilter
+	// let evaluation avoid: whole documents rejected by the mandatory-
+	// factor admission gate plus bytes the forward scan's trigger-byte
+	// skip loop jumped over. PrefilterCandidates counts instrumented
+	// evaluations that survived the admission gate and went on to scan
+	// (on factor-less automata every evaluation is a candidate).
+	PrefilterSkippedBytes obs.Counter
+	PrefilterCandidates   obs.Counter
+	// PrefilterDisabled counts instrumented evaluations per prefilter
+	// admission-gate status, indexed by PrefilterReason. Index
+	// PrefilterOK means the gate is armed with a factor; the other
+	// indexes say why no factor gate applies (the trigger-byte skip loop
+	// still runs unless the reason is PrefilterOff).
+	PrefilterDisabled [NumPrefilterReasons]obs.Counter
 }
 
 // SetEvalMetrics attaches a metrics collector to the automaton: every

@@ -1,0 +1,262 @@
+package vsa
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/alphabet"
+)
+
+// buildAnchoredAB builds the unary automaton for a·b·Σ* with x spanning
+// the "ab": every accepted document starts with the literal "ab".
+func buildAnchoredAB(t *testing.T) *Automaton {
+	t.Helper()
+	a := NewAutomaton("x")
+	mid := a.AddState()
+	post := a.AddState()
+	a.AddEdge(0, Open(0), alphabet.Of('a'), mid)
+	a.AddEdge(mid, Close(0), alphabet.Of('b'), post)
+	a.AddFinal(post, 0)
+	a.AddEdge(post, 0, alphabet.Any, post)
+	if err := a.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return a
+}
+
+// buildUnanchoredAB builds Σ*·a·b·Σ*: the factor "ab" is mandatory but
+// may appear anywhere, so both the admission gate and the scan-time
+// trigger skip are exercised.
+func buildUnanchoredAB(t *testing.T) *Automaton {
+	t.Helper()
+	a := NewAutomaton("x")
+	mid := a.AddState()
+	post := a.AddState()
+	a.AddEdge(0, 0, alphabet.Any, 0)
+	a.AddEdge(0, Open(0), alphabet.Of('a'), mid)
+	a.AddEdge(mid, Close(0), alphabet.Of('b'), post)
+	a.AddFinal(post, 0)
+	a.AddEdge(post, 0, alphabet.Any, post)
+	if err := a.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return a
+}
+
+func TestPrefilterFactorAnchored(t *testing.T) {
+	pf := buildAnchoredAB(t).Prefilter()
+	if pf.Reason != PrefilterOK || pf.Factor != "ab" {
+		t.Fatalf("anchored ab: got factor %q reason %v, want \"ab\"/ok", pf.Factor, pf.Reason)
+	}
+}
+
+func TestPrefilterFactorUnanchored(t *testing.T) {
+	pf := buildUnanchoredAB(t).Prefilter()
+	if pf.Reason != PrefilterOK || pf.Factor != "ab" {
+		t.Fatalf("unanchored ab: got factor %q reason %v, want \"ab\"/ok", pf.Factor, pf.Reason)
+	}
+}
+
+func TestPrefilterReasonEmptyLanguage(t *testing.T) {
+	a := NewAutomaton("x")
+	a.AddEdge(0, 0, alphabet.Any, 0) // no finals anywhere
+	pf := a.Prefilter()
+	if pf.Reason != PrefilterEmptyLanguage || pf.Factor != "" {
+		t.Fatalf("got factor %q reason %v, want empty-language", pf.Factor, pf.Reason)
+	}
+}
+
+func TestPrefilterReasonAcceptsEmpty(t *testing.T) {
+	a := NewAutomaton("x")
+	a.AddFinal(0, Wrap(0)) // the empty document is accepted
+	mid := a.AddState()
+	a.AddEdge(0, Wrap(0), alphabet.Of('a'), mid)
+	a.AddFinal(mid, 0)
+	pf := a.Prefilter()
+	if pf.Reason != PrefilterAcceptsEmpty || pf.Factor != "" {
+		t.Fatalf("got factor %q reason %v, want accepts-empty", pf.Factor, pf.Reason)
+	}
+}
+
+func TestPrefilterReasonNoLiteralClass(t *testing.T) {
+	a := NewAutomaton("x")
+	mid := a.AddState()
+	a.AddEdge(0, Wrap(0), alphabet.Of('a', 'b'), mid) // {a,b} is one class: interchangeable
+	a.AddFinal(mid, 0)
+	pf := a.Prefilter()
+	if pf.Reason != PrefilterNoLiteralClass || pf.Factor != "" {
+		t.Fatalf("got factor %q reason %v, want no-literal-class", pf.Factor, pf.Reason)
+	}
+}
+
+func TestPrefilterReasonNoMandatoryByte(t *testing.T) {
+	// Language {a, b} via two singleton-class edges: literal bytes exist
+	// but each is avoidable through the other branch.
+	a := NewAutomaton("x")
+	mid := a.AddState()
+	a.AddEdge(0, Wrap(0), alphabet.Of('a'), mid)
+	a.AddEdge(0, Wrap(0), alphabet.Of('b'), mid)
+	a.AddFinal(mid, 0)
+	pf := a.Prefilter()
+	if pf.Reason != PrefilterNoMandatoryByte || pf.Factor != "" {
+		t.Fatalf("got factor %q reason %v, want no-mandatory-byte", pf.Factor, pf.Reason)
+	}
+}
+
+func TestPrefilterReasonBudget(t *testing.T) {
+	// A long singleton-class chain pushes the (state × position) product
+	// past factorBudget on the very first seed check.
+	a := NewAutomaton("x")
+	n := factorBudget/2 + 2
+	prev := 0
+	for i := 0; i < n; i++ {
+		next := a.AddState()
+		ops := OpSet(0)
+		switch i {
+		case 0:
+			ops = Open(0)
+		case n - 1:
+			ops = Close(0)
+		}
+		a.AddEdge(prev, ops, alphabet.Of('a'), next)
+		prev = next
+	}
+	a.AddFinal(prev, 0)
+	pf := a.Prefilter()
+	if pf.Reason != PrefilterBudget || pf.Factor != "" {
+		t.Fatalf("got factor %q reason %v, want analysis-budget", pf.Factor, pf.Reason)
+	}
+}
+
+func TestPrefilterReasonDisabled(t *testing.T) {
+	a := buildAnchoredAB(t)
+	a.DisablePrefilter()
+	pf := a.Prefilter()
+	if pf.Reason != PrefilterOff || pf.Factor != "" {
+		t.Fatalf("got factor %q reason %v, want disabled", pf.Factor, pf.Reason)
+	}
+	if !a.PrefilterDisabled() {
+		t.Fatal("PrefilterDisabled must report true after DisablePrefilter")
+	}
+}
+
+func TestPrefilterAlternationCommonFactor(t *testing.T) {
+	// (abc|zbc)·Σ*: no single branch byte is mandatory on its own except
+	// the shared "bc" tail, which the growth loop must assemble.
+	a := NewAutomaton("x")
+	m1, m2 := a.AddState(), a.AddState()
+	post := a.AddState()
+	a.AddEdge(0, Open(0), alphabet.Of('a'), m1)
+	a.AddEdge(0, Open(0), alphabet.Of('z'), m1)
+	a.AddEdge(m1, 0, alphabet.Of('b'), m2)
+	a.AddEdge(m2, Close(0), alphabet.Of('c'), post)
+	a.AddFinal(post, 0)
+	a.AddEdge(post, 0, alphabet.Any, post)
+	pf := a.Prefilter()
+	if pf.Reason != PrefilterOK || pf.Factor != "bc" {
+		t.Fatalf("got factor %q reason %v, want \"bc\"/ok", pf.Factor, pf.Reason)
+	}
+}
+
+func TestPrefilterReasonStrings(t *testing.T) {
+	want := map[PrefilterReason]string{
+		PrefilterOK:              "ok",
+		PrefilterOff:             "disabled",
+		PrefilterEmptyLanguage:   "empty-language",
+		PrefilterAcceptsEmpty:    "accepts-empty",
+		PrefilterNoLiteralClass:  "no-literal-class",
+		PrefilterNoMandatoryByte: "no-mandatory-byte",
+		PrefilterBudget:          "analysis-budget",
+	}
+	if len(want) != NumPrefilterReasons {
+		t.Fatalf("reason table has %d entries, NumPrefilterReasons = %d", len(want), NumPrefilterReasons)
+	}
+	for r, s := range want {
+		if r.String() != s {
+			t.Errorf("%d.String() = %q, want %q", r, r.String(), s)
+		}
+	}
+}
+
+// TestPrefilterEvalAgreesWithDisabled is the in-package differential:
+// the filtered evaluation paths (admission gate + trigger-byte skips in
+// EvalBool and the forward scan) must be byte-identical to the same
+// automaton with prefiltering disabled, across factor placements that
+// land at skip-loop, checkpoint-stride and document boundaries.
+func TestPrefilterEvalAgreesWithDisabled(t *testing.T) {
+	build := func() *Automaton {
+		a := NewAutomaton("x")
+		mid := a.AddState()
+		post := a.AddState()
+		a.AddEdge(0, 0, alphabet.Any, 0)
+		a.AddEdge(0, Open(0), alphabet.Of('a'), mid)
+		a.AddEdge(mid, Close(0), alphabet.Of('b'), post)
+		a.AddFinal(post, 0)
+		a.AddEdge(post, 0, alphabet.Any, post)
+		return a
+	}
+	on, off := build(), build()
+	off.DisablePrefilter()
+	if pf := on.Prefilter(); pf.Factor != "ab" {
+		t.Fatalf("expected factor \"ab\", got %+v", pf)
+	}
+	filler := strings.Repeat(".", 4096)
+	docs := []string{
+		"",
+		"ab",
+		filler,                      // factor absent: admission gate rejects
+		filler + "ab",               // factor at the very end
+		"ab" + filler,               // factor at the very start
+		filler + "ab" + filler,      // skip on both sides
+		filler[:31] + "ab" + filler, // straddles a checkpoint-stride boundary
+		filler[:15] + "a" + filler,  // lone 'a' breaks a skip streak, never matches
+		strings.Repeat("ab", 300),   // dense: streak never reaches the threshold
+	}
+	for _, doc := range docs {
+		if got, want := on.EvalBool(doc), off.EvalBool(doc); got != want {
+			t.Fatalf("EvalBool: filtered=%v unfiltered=%v on %d-byte doc", got, want, len(doc))
+		}
+		got, want := on.Eval(doc), off.Eval(doc)
+		if !got.Equal(want) {
+			t.Fatalf("Eval differs on %d-byte doc:\nfiltered:   %v\nunfiltered: %v", len(doc), got, want)
+		}
+	}
+}
+
+// TestPrefilterConcurrentPrepare proves the once-guarded factor
+// extraction runs exactly once under concurrent Prepare/Prefilter and
+// that every caller observes the same memoized result.
+func TestPrefilterConcurrentPrepare(t *testing.T) {
+	a := buildUnanchoredAB(t)
+	before := prefilterBuilds.Load()
+	const workers = 16
+	infos := make([]PrefilterInfo, workers)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			a.Prepare()
+			infos[g] = a.Prefilter()
+			// Exercise the filtered paths concurrently too: the skip
+			// caches behind them must tolerate parallel first use.
+			doc := strings.Repeat(" ", 2048) + "ab" + strings.Repeat(" ", 2048)
+			if !a.EvalBool(doc) {
+				t.Errorf("goroutine %d: EvalBool = false, want true", g)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := prefilterBuilds.Load() - before; got != 1 {
+		t.Fatalf("factor extraction ran %d times under concurrent Prepare, want 1", got)
+	}
+	for g, info := range infos {
+		if info != infos[0] {
+			t.Fatalf("goroutine %d observed %+v, goroutine 0 observed %+v", g, info, infos[0])
+		}
+	}
+	if infos[0].Reason != PrefilterOK || infos[0].Factor != "ab" {
+		t.Fatalf("memoized info = %+v, want \"ab\"/ok", infos[0])
+	}
+}

@@ -100,6 +100,7 @@ func (a *Automaton) buildLocalizer() *localizer {
 	}
 	loc.status = st
 	loc.scan = buildScanProg(p, a.Start, end)
+	loc.scan.noSkip = a.prefDisabled
 	loc.rev = buildRevProg(p, a, st, end)
 	loc.ok = true
 	return loc
@@ -129,6 +130,10 @@ type scanProg struct {
 	end      []bool
 	hasFinal []bool
 	dfa      *lazydfa.DFA[uint8]
+	// skips memoizes per-DFA-state trigger sets for the forward-scan
+	// skip loop (see prefilter.go); noSkip honors DisablePrefilter.
+	skips  lazydfa.SkipCache
+	noSkip bool
 }
 
 func buildScanProg(p *evalProg, start int, end []bool) *scanProg {
@@ -201,6 +206,13 @@ func (s *scanProg) forward(p *evalProg, doc string, ws *windowScratch) bool {
 	ws.checkpoints = append(ws.checkpoints[:0], dfaStart)
 	ws.ends = ws.ends[:0]
 	ws.finalsAtEnd = false
+	ws.skippedBytes = 0
+	var gate lazydfa.SkipGate
+	if !s.noSkip {
+		gate.Init(&s.skips)
+		gate.Bind(func(q int32) *lazydfa.SkipSet { return s.skipSetScan(p, &w, q) },
+			lazydfa.StringIndex(doc))
+	}
 	for i := 0; i < len(doc); i++ {
 		if i&(rlockChunk-1) == rlockChunk-1 {
 			// Let pending writers in periodically; see EvalBool.
@@ -219,6 +231,37 @@ func (s *scanProg) forward(p *evalProg, doc string, ws *windowScratch) bool {
 			if t == dfaDead {
 				w.Release()
 				return true
+			}
+		}
+		if !s.noSkip {
+			// The walk is confined to a synchronized state set: jump to the
+			// next byte that can break out. skipSetScan keeps scanFlagEnd
+			// states out of every set, so no skipped boundary could have
+			// needed an ends entry, and the state at each skipped boundary
+			// is a pure function of the byte before it (sk.Sync) — that is
+			// the skip's soundness invariant.
+			if sk := gate.Step(cur, t); sk != nil {
+				if j, _ := gate.Jump(sk, i+1, len(doc)); j > i+1 {
+					// Checkpoint every stride boundary in [i+1, j): the jump
+					// bypasses the per-byte append below for them (boundary j
+					// itself is appended there after i advances). Boundary
+					// i+1 holds t — the state the step above just computed —
+					// and every later one holds the sync state of its
+					// preceding (trigger-free) byte.
+					for cb := (i + checkpointStride) / checkpointStride * checkpointStride; cb < j; cb += checkpointStride {
+						if cb == i+1 {
+							ws.checkpoints = append(ws.checkpoints, t)
+						} else {
+							ws.checkpoints = append(ws.checkpoints, sk.Sync(doc[cb-1]))
+						}
+					}
+					ws.skippedBytes += j - (i + 1)
+					if j-(i+1) >= rlockChunk {
+						w.Yield()
+					}
+					t = sk.Sync(doc[j-1])
+					i = j - 1 // boundary j is handled by the normal code below
+				}
 			}
 		}
 		cur = t
@@ -384,6 +427,9 @@ type windowScratch struct {
 	windows     []window
 	seed        []int32
 	finalsAtEnd bool
+	// skippedBytes counts bytes the forward pass jumped over via the
+	// literal-prefilter skip loop; flushed into EvalMetrics by EvalAppend.
+	skippedBytes int
 }
 
 var windowPool = sync.Pool{New: func() any { return new(windowScratch) }}
