@@ -10,7 +10,7 @@ import (
 // endpoints instrumented with per-endpoint counters and latency
 // histograms. /metrics itself is deliberately not measured: scrapes
 // should not perturb the serving statistics they read.
-var endpoints = []string{"/v1/extract", "/v1/check", "/v1/stats"}
+var endpoints = []string{"/v1/extract", "/v1/extract-batch", "/v1/check", "/v1/stats"}
 
 // httpMetrics is the daemon's HTTP-level instrumentation: request and
 // error counts plus a latency histogram per endpoint, and one global

@@ -342,6 +342,7 @@ func TestChaosDrainUnderLoad(t *testing.T) {
 		extractSent atomic.Int64 // extract requests that reached the server (any response)
 		extract429  atomic.Int64 // ... answered 429
 		extractOK   atomic.Int64 // ... answered 200
+		extractLost atomic.Int64 // ... whose response was lost (conn died during drain)
 		truncated   atomic.Int64 // responses cut off mid-body (admitted but dropped)
 	)
 	stopLoad := make(chan struct{})
@@ -388,7 +389,12 @@ func TestChaosDrainUnderLoad(t *testing.T) {
 				resp, err := client.Do(req)
 				if err != nil {
 					// Connection refused/reset during drain: the request never
-					// got a response; it is not counted as sent.
+					// got a response, so it is not counted as sent — but it may
+					// have been admitted and executed before the connection
+					// died, so lost extracts widen invariant 1's allowance.
+					if isExtract {
+						extractLost.Add(1)
+					}
 					continue
 				}
 				if isExtract {
@@ -433,11 +439,12 @@ func TestChaosDrainUnderLoad(t *testing.T) {
 	}
 	// Invariant 1: a shed request never executed. Every document the
 	// engine counted came from a non-429 extract attempt (inline JSON
-	// extracts count one document each, at evaluation start).
+	// extracts count one document each, at evaluation start) — or from
+	// an admitted request whose response connection died during drain.
 	docs := int64(eng.Stats().Documents)
-	if docs > sent-shed {
-		t.Fatalf("engine evaluated %d documents but only %d extract attempts were admitted (sent=%d shed=%d): some request was both 429'd and executed",
-			docs, sent-shed, sent, shed)
+	if lost := extractLost.Load(); docs > sent-shed+lost {
+		t.Fatalf("engine evaluated %d documents but only %d extract attempts were admitted (sent=%d shed=%d lost=%d): some request was both 429'd and executed",
+			docs, sent-shed+lost, sent, shed, lost)
 	}
 	// Invariant 2: admitted (200) responses were delivered whole.
 	if n := truncated.Load(); n != 0 {

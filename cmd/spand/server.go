@@ -120,6 +120,7 @@ func newServerWith(eng *engine.Engine, cfg serverConfig) http.Handler {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/extract", s.m.wrap("/v1/extract", s.guard(s.handleExtract)))
+	mux.HandleFunc("POST /v1/extract-batch", s.m.wrap("/v1/extract-batch", s.guard(s.handleExtractBatch)))
 	mux.HandleFunc("POST /v1/check", s.m.wrap("/v1/check", s.guard(s.handleCheck)))
 	mux.HandleFunc("GET /v1/stats", s.m.wrap("/v1/stats", s.handleStats))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -432,6 +433,205 @@ func (s *server) runExtractMultipart(w http.ResponseWriter, plan *engine.Plan, h
 	}
 	part("tuples", tuplesJSON(rel))
 	part("end", epilogue{Status: "ok", Count: rel.Len()})
+}
+
+// extractBatchRequest is the JSON request body of /v1/extract-batch:
+// one document, many spanner formulas, answered by one fused pass
+// (engine.PlanBatch / ExtractBatch).
+type extractBatchRequest struct {
+	Spanners []string `json:"spanners"`
+	Doc      string   `json:"doc,omitempty"`
+}
+
+// batchQueryResult is one member query's slice of the batch response:
+// its tuples, or its compile error. Errors are per-slot by design — one
+// bad formula in a batch must not fail its siblings (the whole-batch
+// statuses are reserved for document-level failures: 413, 504, 429).
+type batchQueryResult struct {
+	Spanner string       `json:"spanner"`
+	Vars    []string     `json:"vars,omitempty"`
+	Count   int          `json:"count"`
+	Tuples  [][]jsonSpan `json:"tuples,omitempty"`
+	Error   string       `json:"error,omitempty"`
+}
+
+type extractBatchResponse struct {
+	CacheHit      bool               `json:"cache_hit"`
+	PlanCompileMS float64            `json:"plan_compile_ms"`
+	Queries       []batchQueryResult `json:"queries"`
+}
+
+func batchQueries(plan *engine.Plan, spanners []string, results []engine.BatchResult) []batchQueryResult {
+	out := make([]batchQueryResult, len(spanners))
+	for i, src := range spanners {
+		out[i].Spanner = src
+		if results != nil {
+			if r := results[i]; r.Err != nil {
+				out[i].Error = r.Err.Error()
+			} else if r.Rel != nil {
+				out[i].Vars = r.Rel.Vars
+				out[i].Count = r.Rel.Len()
+				out[i].Tuples = tuplesJSON(r.Rel)
+			}
+			continue
+		}
+		// Pre-evaluation view (the multipart plan part): formulas and
+		// their memoized compile verdicts, no tuples yet.
+		if err := plan.BatchErr(i); err != nil {
+			out[i].Error = err.Error()
+		} else {
+			out[i].Vars = plan.BatchVars(i)
+		}
+	}
+	return out
+}
+
+// handleExtractBatch serves POST /v1/extract-batch: one document, N
+// registered spanner formulas, one shared evaluation pass. Two request
+// shapes:
+//
+//   - application/json: {"spanners": [...], "doc": "..."} with the
+//     document inline.
+//   - anything else: the body is the document and the formulas come from
+//     repeated ?spanner=… query parameters.
+//
+// With Accept: multipart/mixed the response is streamed with the PR 8
+// epilogue contract: a "plan" part (per-query formulas, variables and
+// compile errors) flushed before the document is consumed, a "results"
+// part on success, and always a terminal "end" part — error epilogue
+// included when the deadline fires mid-batch.
+func (s *server) handleExtractBatch(w http.ResponseWriter, r *http.Request) {
+	ctype, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	var req extractBatchRequest
+	inline := false
+	if ctype == "application/json" {
+		if err := json.NewDecoder(io.LimitReader(r.Body, maxJSONBody)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+			return
+		}
+		inline = true
+	} else {
+		req.Spanners = r.URL.Query()["spanner"]
+	}
+	plan, hit, err := s.eng.PlanBatch(r.Context(), engine.BatchRequest{
+		Spanners: req.Spanners, Tenant: s.tenantOf(r),
+	})
+	if err != nil {
+		// Whole-batch planning failures: an empty batch, or the deadline
+		// dying while coalesced on an in-flight compilation. Per-formula
+		// compile errors never land here — they ride in the plan's slots.
+		writeError(w, planErrStatus(err), err)
+		return
+	}
+	run := func() ([]engine.BatchResult, error) {
+		doc := req.Doc
+		if !inline {
+			var err error
+			if doc, err = readBatchDoc(r.Context(), r.Body); err != nil {
+				return nil, err
+			}
+		}
+		return s.eng.ExtractBatch(r.Context(), plan, doc)
+	}
+	if acceptsMultipart(r) {
+		s.runBatchMultipart(w, plan, hit, req.Spanners, run)
+		return
+	}
+	results, err := run()
+	if err != nil {
+		if !inline {
+			w.Header().Set("Connection", "close") // body abandoned mid-read
+		}
+		writeError(w, extractErrStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, extractBatchResponse{
+		CacheHit:      hit,
+		PlanCompileMS: float64(plan.CompileTime.Microseconds()) / 1000,
+		Queries:       batchQueries(plan, req.Spanners, results),
+	})
+}
+
+// readBatchDoc buffers a raw-body document for a batch request, checking
+// the request context between chunks so a deadline firing mid-upload
+// fails promptly (and maps to 504 via extractErrStatus), and bounding
+// the buffer like JSON bodies. The engine's own MaxDocBuffer still
+// applies to whatever is read.
+func readBatchDoc(ctx context.Context, r io.Reader) (string, error) {
+	var buf []byte
+	chunk := make([]byte, 64<<10)
+	for {
+		if err := ctx.Err(); err != nil {
+			return "", err
+		}
+		n, err := r.Read(chunk)
+		if n > 0 {
+			if len(buf)+n > maxJSONBody {
+				return "", fmt.Errorf("%w (> %d bytes)", engine.ErrDocTooLarge, maxJSONBody)
+			}
+			buf = append(buf, chunk[:n]...)
+		}
+		if err == io.EOF {
+			return string(buf), nil
+		}
+		if err != nil {
+			return "", err
+		}
+	}
+}
+
+// runBatchMultipart answers a batch extraction with multipart/mixed,
+// mirroring runExtractMultipart: the "plan" part (per-query compile
+// verdicts) is flushed before the document is consumed, a "results" part
+// with the per-query tuples follows on success, and the stream always
+// terminates with an "end" epilogue — carrying the error and its
+// would-be HTTP status when the deadline (or any document-level failure)
+// fires mid-batch after the 200 header is on the wire.
+func (s *server) runBatchMultipart(w http.ResponseWriter, plan *engine.Plan, hit bool, spanners []string, run func() ([]engine.BatchResult, error)) {
+	rc := http.NewResponseController(w)
+	_ = rc.EnableFullDuplex()
+	mw := multipart.NewWriter(w)
+	defer mw.Close()
+	w.Header().Set("Content-Type", "multipart/mixed; boundary="+mw.Boundary())
+	w.WriteHeader(http.StatusOK)
+
+	part := func(name string, v any) {
+		h := textproto.MIMEHeader{}
+		h.Set("Content-Type", "application/json")
+		h.Set("Content-Disposition", `inline; name="`+name+`"`)
+		pw, err := mw.CreatePart(h)
+		if err != nil {
+			return // client gone; nothing left to say
+		}
+		enc := json.NewEncoder(pw)
+		enc.SetEscapeHTML(false)
+		_ = enc.Encode(v)
+	}
+
+	type batchPlanPart struct {
+		CacheHit      bool               `json:"cache_hit"`
+		PlanCompileMS float64            `json:"plan_compile_ms"`
+		Queries       []batchQueryResult `json:"queries"`
+	}
+	part("plan", batchPlanPart{
+		CacheHit:      hit,
+		PlanCompileMS: float64(plan.CompileTime.Microseconds()) / 1000,
+		Queries:       batchQueries(plan, spanners, nil),
+	})
+	_ = rc.Flush()
+
+	results, err := run()
+	if err != nil {
+		part("end", epilogue{Status: "error", Error: err.Error(), HTTPStatus: extractErrStatus(err)})
+		return
+	}
+	queries := batchQueries(plan, spanners, results)
+	total := 0
+	for _, q := range queries {
+		total += q.Count
+	}
+	part("results", queries)
+	part("end", epilogue{Status: "ok", Count: total})
 }
 
 // handleCheck serves POST /v1/check: it returns the plan's verdicts

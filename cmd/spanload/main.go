@@ -4,9 +4,10 @@
 // The default mode is the CONCURRENCY experiment: N closed-loop
 // connections with a mixed workload — plan-cache hits (one hot
 // split-parallel plan) and misses (unique formulas that pay compilation
-// inline), small and large documents, inline JSON and streamed raw
-// bodies — reporting client-side throughput and latency percentiles
-// per connection count:
+// inline), fused multi-query batches (/v1/extract-batch, -batch-every),
+// small and large documents, inline JSON and streamed raw bodies —
+// reporting client-side throughput and latency percentiles per
+// connection count:
 //
 //	spand -addr :8080 &
 //	spanload -target http://127.0.0.1:8080 -conns 1,4,16 -dur 5s -json BENCH_PR6.json
@@ -42,12 +43,13 @@ import (
 
 func main() {
 	var (
-		target    = flag.String("target", "http://127.0.0.1:8080", "base URL of the spand daemon")
-		connsFlag = flag.String("conns", "1,4,16", "comma-separated connection counts to sweep")
-		dur       = flag.Duration("dur", 5*time.Second, "duration of each connection-count or rate run")
-		missEvery = flag.Int("miss-every", 8, "one plan-cache-missing formula per N requests (negative disables)")
-		seed      = flag.Uint64("seed", 0, "workload mix seed (0 = fixed default)")
-		jsonOut   = flag.String("json", "", "write the experiment snapshot to this file")
+		target     = flag.String("target", "http://127.0.0.1:8080", "base URL of the spand daemon")
+		connsFlag  = flag.String("conns", "1,4,16", "comma-separated connection counts to sweep")
+		dur        = flag.Duration("dur", 5*time.Second, "duration of each connection-count or rate run")
+		missEvery  = flag.Int("miss-every", 8, "one plan-cache-missing formula per N requests (negative disables)")
+		batchEvery = flag.Int("batch-every", 8, "one fused /v1/extract-batch request per N requests (0 disables)")
+		seed       = flag.Uint64("seed", 0, "workload mix seed (0 = fixed default)")
+		jsonOut    = flag.String("json", "", "write the experiment snapshot to this file")
 
 		overload  = flag.Bool("overload", false, "run the OVERLOAD experiment instead of the connection sweep")
 		ratesFlag = flag.String("rates", "1,2,3", "overload: comma-separated arrival-rate multipliers of measured capacity")
@@ -71,7 +73,7 @@ func main() {
 		conns = append(conns, n)
 	}
 
-	cfg := loadgen.Config{Target: *target, Duration: *dur, MissEvery: *missEvery, Seed: *seed}
+	cfg := loadgen.Config{Target: *target, Duration: *dur, MissEvery: *missEvery, BatchEvery: *batchEvery, Seed: *seed}
 	snap := loadgen.RunSweep(cfg, conns)
 
 	fmt.Printf("%-6s %10s %8s %10s %10s %9s %9s %9s\n",

@@ -12,9 +12,16 @@
 // prefilter-disabled copies of the same automata on the three standard
 // corpora.
 //
+// A fifth snapshot, MULTI, measures multi-query shared evaluation: one
+// fused document pass (vsa.Multi) answering N registered queries
+// against N sequential single-query passes over the same corpus, at
+// N = 1, 10, 100, plus the per-query admission bitmap on a corpus where
+// no query's mandatory factor occurs. Every fused datapoint is verified
+// byte-identical per query to its sequential twin before timing.
+//
 // Usage:
 //
-//	splitbench [-exp all|EVAL|SPLIT|READER|PREFILTER|E1|...|T8] [-bytes n] [-docs n] [-workers n] [-seed n] [-json file]
+//	splitbench [-exp all|EVAL|SPLIT|READER|PREFILTER|MULTI|E1|...|T8] [-bytes n] [-docs n] [-workers n] [-seed n] [-json file]
 //
 // Experiment names are case-insensitive; an unknown name is a hard
 // error listing the valid ones. With -json, the EVAL, SPLIT, READER and
@@ -55,7 +62,7 @@ import (
 )
 
 var (
-	expFlag  = flag.String("exp", "all", "experiment id (EVAL, SPLIT, READER, PREFILTER, E1..E5, T1..T8; case-insensitive) or all")
+	expFlag  = flag.String("exp", "all", "experiment id (EVAL, SPLIT, READER, PREFILTER, MULTI, E1..E5, T1..T8; case-insensitive) or all")
 	bytesN   = flag.Int("bytes", 1<<21, "corpus size in bytes for E1-E3 and EVAL")
 	docsN    = flag.Int("docs", 3000, "collection size for E4-E5")
 	workers  = flag.Int("workers", 5, "worker count (the paper uses 5 cores/nodes)")
@@ -93,6 +100,7 @@ func experiments() (map[string]func(), []string) {
 		"SPLIT":     splitThroughput,
 		"READER":    readerThroughput,
 		"PREFILTER": prefilterThroughput,
+		"MULTI":     multiThroughput,
 		"E1":        func() { ngramSpeedup("E1 Wikipedia 2-grams (paper: 2.10x)", corpus.Wikipedia(*seed, *bytesN), 2) },
 		"E2":        func() { ngramSpeedup("E2 Wikipedia 3-grams (paper: 3.11x)", corpus.Wikipedia(*seed, *bytesN), 3) },
 		"E3":        func() { ngramSpeedup("E3 PubMed 2-grams    (paper: 1.90x)", corpus.PubMed(*seed, *bytesN), 2) },
@@ -107,7 +115,7 @@ func experiments() (map[string]func(), []string) {
 		"T7":        t7Splittability,
 		"T8":        t8Reasoning,
 	}
-	order := []string{"EVAL", "SPLIT", "READER", "PREFILTER", "E1", "E2", "E3", "E4", "E5", "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8"}
+	order := []string{"EVAL", "SPLIT", "READER", "PREFILTER", "MULTI", "E1", "E2", "E3", "E4", "E5", "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8"}
 	return exps, order
 }
 
@@ -416,6 +424,132 @@ func prefilterThroughput() {
 		measure("Split/off", "dense", dense, func() int { return len(sentOff.Split(dense)) }),
 	)
 	writeSnapshot("PREFILTER", results)
+}
+
+// multiMarker is the literal token query i of the MULTI experiment
+// extracts: "q" plus two lowercase letters, distinct per query, never a
+// substring of the filler prose or of another marker.
+func multiMarker(i int) string {
+	return string([]byte{'q', byte('a' + i/10), byte('a' + i%10)})
+}
+
+// multiFormula is the i-th registered query: extract every occurrence
+// of its marker token as the span of variable x.
+func multiFormula(i int) string {
+	m := multiMarker(i)
+	return fmt.Sprintf(`.*(x{%s}).*|(x{%s}).*`, m, m)
+}
+
+// multiCorpus interleaves filler prose with the first `markers` marker
+// tokens in rotation, so every registered query finds matches and the
+// corpus is identical across query-set sizes. The filler deliberately
+// contains every lowercase letter, keeping per-member trigger-byte
+// skipping ineffective: both sides of the comparison are scan-bound,
+// which is the regime the fused pass is for.
+func multiCorpus(n, markers int) string {
+	const filler = "the quick brown fox jumps over lazy dogs while zebras vex " +
+		"judges and make a big sphinx of quartz wait in the cold hall. "
+	var b strings.Builder
+	b.Grow(n + len(filler) + 8)
+	for i := 0; b.Len() < n; i++ {
+		b.WriteString(filler)
+		b.WriteString(multiMarker(i % markers))
+		b.WriteByte(' ')
+	}
+	return b.String()[:n]
+}
+
+// multiThroughput is the PR 10 snapshot: one fused document pass
+// (vsa.Multi) answering N registered queries versus N sequential
+// single-query passes over the same corpus, at N = 1, 10, 100. Every
+// fused datapoint is verified byte-identical per query to its
+// sequential twin — through both Multi.Eval and the work-stealing
+// parallel.MultiEval — before it is timed. Both sides report MB/s over
+// one document traversal serving the whole query set, so the ratio of
+// the fused row to the sequential row is the aggregate speedup; the
+// aggregate row restates the fused rate times N (query-bytes answered
+// per second). The final rows measure the per-query admission bitmap: a
+// corpus where no query's mandatory factor occurs is dismissed by the
+// prefilter gate without a full fused pass.
+func multiThroughput() {
+	header("MULTI fused multi-query evaluation (MB/s)")
+	const maxN = 100
+	doc := multiCorpus(*bytesN, maxN)
+	whole := []parallel.Segment{{Span: span.Span{Start: 1, End: len(doc) + 1}, Text: doc}}
+
+	var results []perfResult
+	for _, n := range []int{1, 10, 100} {
+		members := make([]*vsa.Automaton, n)
+		for i := range members {
+			members[i] = regexformula.MustCompile(multiFormula(i))
+			members[i].Prepare()
+		}
+		m := vsa.NewMulti(members...)
+		m.Prepare()
+
+		// Verify before timing: each query's fused result must be
+		// byte-identical to its own sequential pass, on both the direct
+		// and the executor path.
+		seq := make([]*span.Relation, n)
+		for i, mem := range members {
+			seq[i] = mem.Eval(doc)
+		}
+		for _, fused := range [][]*span.Relation{m.Eval(doc), parallel.MultiEval(m, whole, *workers)} {
+			for q := range seq {
+				if !fused[q].Equal(seq[q]) {
+					fmt.Fprintf(os.Stderr, "MULTI: fused result for query %d of %d differs from its sequential pass\n", q, n)
+					os.Exit(1)
+				}
+			}
+		}
+
+		name := fmt.Sprintf("queries-%d", n)
+		seqRow := measure("Eval/seq", name, doc, func() int {
+			tuples := 0
+			for _, mem := range members {
+				tuples += mem.Eval(doc).Len()
+			}
+			return tuples
+		})
+		fusedRow := measure("Eval/fused", name, doc, func() int {
+			tuples := 0
+			for _, rel := range m.Eval(doc) {
+				tuples += rel.Len()
+			}
+			return tuples
+		})
+		results = append(results, seqRow, fusedRow,
+			perfResult{Op: "aggregate/fused", Corpus: name, Bytes: len(doc) * n,
+				MBPerS: fusedRow.MBPerS * float64(n), Tuples: fusedRow.Tuples})
+		fmt.Printf("%-14s %-12s aggregate %8.1f MB/s  speedup %.2fx over %d sequential passes\n",
+			"aggregate", name, fusedRow.MBPerS*float64(n), fusedRow.MBPerS/seqRow.MBPerS, n)
+	}
+
+	// Admission bitmap: none of the markers occur in the Wikipedia
+	// corpus, so the factor gate dismisses every query up front.
+	absent := corpus.Wikipedia(*seed, *bytesN)
+	members := make([]*vsa.Automaton, 10)
+	for i := range members {
+		members[i] = regexformula.MustCompile(multiFormula(i))
+		members[i].Prepare()
+	}
+	m := vsa.NewMulti(members...)
+	m.Prepare()
+	for i, rel := range m.Eval(absent) {
+		if !rel.Equal(members[i].Eval(absent)) {
+			fmt.Fprintf(os.Stderr, "MULTI: fused result for query %d differs on the non-matching corpus\n", i)
+			os.Exit(1)
+		}
+	}
+	results = append(results, measure("Eval/fused", "nonmatching", absent, func() int {
+		tuples := 0
+		for _, rel := range m.Eval(absent) {
+			tuples += rel.Len()
+		}
+		return tuples
+	}))
+
+	writeSnapshot("MULTI", results)
 }
 
 // engineStreamingResults measures the engine's split evaluation of a

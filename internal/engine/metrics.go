@@ -77,8 +77,9 @@ type Metrics struct {
 
 	stages [numStages]obs.Histogram // wall ns per request, by Stage
 
-	eval vsa.EvalMetrics
-	exec parallel.ExecMetrics
+	eval  vsa.EvalMetrics
+	exec  parallel.ExecMetrics
+	multi vsa.MultiMetrics
 }
 
 // newMetrics builds the engine's metrics and registers every series.
@@ -142,6 +143,13 @@ func newMetrics(e *Engine) *Metrics {
 		r.BindCounter(`spanners_eval_prefilter_disabled_total{reason="`+rs.String()+`"}`,
 			"instrumented evaluations by prefilter admission-gate status", &m.eval.PrefilterDisabled[rs])
 	}
+
+	r.BindCounter("spanners_multi_fused_passes_total", "fused multi-query forward scans", &m.multi.FusedPasses)
+	r.BindCounter("spanners_multi_fused_bytes_total", "document bytes covered by fused passes", &m.multi.FusedBytes)
+	r.BindCounter("spanners_multi_fused_skipped_bytes_total", "fused-pass bytes skipped by the combined trigger-byte prefilter", &m.multi.FusedSkippedBytes)
+	r.BindCounter("spanners_multi_demux_tuples_total", "result tuples demultiplexed into per-query relations", &m.multi.DemuxTuples)
+	r.BindCounter("spanners_multi_admission_skips_total", "member×document pairs skipped by the per-query mandatory-factor admission bitmap", &m.multi.AdmissionSkips)
+	r.BindCounter("spanners_multi_member_fallbacks_total", "member evaluations that ran standalone instead of fused", &m.multi.MemberFallbacks)
 
 	return m
 }

@@ -86,6 +86,10 @@ type Plan struct {
 	p  *vsa.Automaton // the spanner P
 	ps *vsa.Automaton // the split-spanner P_S (nil unless StrategySplit)
 	s  *core.Splitter // the splitter S (nil when Req.Splitter is empty)
+
+	// batch, when non-nil, marks a fused multi-query plan (PlanBatch):
+	// p/ps/s are nil and the members plus the fused evaluator live here.
+	batch *batchPlan
 }
 
 // Spanner exposes the compiled spanner automaton.
@@ -95,8 +99,14 @@ func (p *Plan) Spanner() *vsa.Automaton { return p.p }
 // plans.
 func (p *Plan) SplitterOf() *core.Splitter { return p.s }
 
-// Vars returns the plan's output variables.
-func (p *Plan) Vars() []string { return append([]string(nil), p.p.Vars...) }
+// Vars returns the plan's output variables. Batch plans have no single
+// variable list — use BatchVars per slot.
+func (p *Plan) Vars() []string {
+	if p.p == nil {
+		return nil
+	}
+	return append([]string(nil), p.p.Vars...)
+}
 
 // cost estimates the plan's resident memory in bytes for the cache's
 // byte budgets: a per-plan baseline (entry bookkeeping, formula
@@ -124,6 +134,19 @@ func (p *Plan) cost() int64 {
 	if p.s != nil {
 		a := p.s.Automaton()
 		add(a.NumStates(), a.NumEdges())
+	}
+	if p.batch != nil {
+		// A fused plan is charged for every distinct member automaton it
+		// holds (the fused DFA's lazily-built state space grows with the
+		// members' combined size) plus its own formula text, so N cheap
+		// formulas registered as one batch cost the cache roughly what N
+		// singleton plans would.
+		for _, s := range p.batch.req.Spanners {
+			c += int64(len(s)) * perFormula
+		}
+		for _, a := range p.batch.members {
+			add(a.NumStates(), a.NumEdges())
+		}
 	}
 	return c
 }
@@ -250,6 +273,10 @@ func (p *Plan) warm() {
 	}
 	if p.s != nil {
 		p.s.Automaton().Prepare()
+	}
+	if p.batch != nil && p.batch.multi != nil {
+		// Prepares the fused groups and every member's compiled caches.
+		p.batch.multi.Prepare()
 	}
 }
 

@@ -45,6 +45,17 @@ func missSpanner(n uint64) string {
 	return fmt.Sprintf(`(.*)(y{m%dx[a-z0-9]+@[a-z0-9]+})(.*)`, n)
 }
 
+// batchSpanners is the fixed query set of the fused-batch requests: the
+// hot email spanner plus two more formulas, registered together so the
+// daemon answers all three with one shared document pass
+// (/v1/extract-batch). Identical across requests, so the fused plan is
+// compiled once and cache-hit thereafter.
+var batchSpanners = []string{
+	hotSpanner,
+	`(.*[^a-z])?(y{then|finally})([^a-z].*)?`,
+	`(.*[^a-z0-9])?(y{[a-z]+@[a-z0-9]+[.]com})([^a-z0-9].*)?`,
+}
+
 // Config parameterizes one load run.
 type Config struct {
 	// Target is the daemon's base URL (e.g. http://127.0.0.1:8080).
@@ -58,6 +69,11 @@ type Config struct {
 	// MissEvery mixes one plan-cache-missing formula into every n
 	// requests; 0 selects the default of 8. Negative disables misses.
 	MissEvery int
+	// BatchEvery mixes one fused multi-query request (/v1/extract-batch
+	// with the fixed batchSpanners set) into every n requests; 0 disables
+	// batches — the pre-batch workload mix, kept as the default so
+	// CONCURRENCY/OVERLOAD snapshots stay comparable across PRs.
+	BatchEvery int
 	// Client optionally overrides the HTTP client (the in-process smoke
 	// passes an httptest client). nil uses a pooled default.
 	Client *http.Client
@@ -117,6 +133,7 @@ type runState struct {
 // do issues one request of the mixed workload.
 func (s *runState) do(rng *rand.Rand) {
 	miss := s.cfg.MissEvery > 0 && rng.IntN(s.cfg.MissEvery) == 0
+	batch := !miss && s.cfg.BatchEvery > 0 && rng.IntN(s.cfg.BatchEvery) == 0
 	doc := s.corpus[rng.IntN(len(s.corpus))]
 	streamed := rng.IntN(2) == 0
 
@@ -126,6 +143,11 @@ func (s *runState) do(rng *rand.Rand) {
 	)
 	t0 := time.Now()
 	switch {
+	case batch:
+		// One fused request answers the whole batchSpanners set with a
+		// single document pass.
+		body, _ := json.Marshal(map[string]any{"spanners": batchSpanners, "doc": doc})
+		resp, err = s.client.Post(s.cfg.Target+"/v1/extract-batch", "application/json", bytes.NewReader(body))
 	case miss:
 		// A unique sequential plan: pays compilation, not evaluation.
 		body, _ := json.Marshal(map[string]string{

@@ -10,22 +10,60 @@ import (
 )
 
 // This file implements the work-stealing split-evaluation executor that
-// backs SplitEval, SplitEvalCtx, SplitEvalBatches, CollectionEval and
-// CollectionEvalSplit. The shape follows Blumofe & Leiserson
-// ("Scheduling Multithreaded Computations by Work Stealing"): each
-// worker owns a chunked deque; work is dealt (or arrives) in chunks of
-// several segments; a worker that runs dry steals the oldest chunk from
-// a random victim. Results never cross a channel: each worker appends
-// shifted tuples into its own arena-backed relation accumulator
-// (vsa.EvalAppend), and the per-worker accumulators are concatenated and
-// offset-sorted once at the end — the merged relation is therefore
-// byte-identical no matter how chunks were dealt, stolen or interleaved.
+// backs SplitEval, SplitEvalCtx, SplitEvalBatches, CollectionEval,
+// CollectionEvalSplit and MultiEval. The shape follows Blumofe &
+// Leiserson ("Scheduling Multithreaded Computations by Work Stealing"):
+// each worker owns a chunked deque; work is dealt (or arrives) in chunks
+// of several segments; a worker that runs dry steals the oldest chunk
+// from a random victim. Results never cross a channel: each worker
+// appends shifted tuples into its own arena-backed relation accumulator
+// (the evaluator's EvalAppend), and the per-worker accumulators are
+// concatenated and offset-sorted once at the end — the merged relation
+// is therefore byte-identical no matter how chunks were dealt, stolen or
+// interleaved.
+
+// evaluator abstracts what one worker does with a segment, so the same
+// scheduling/accumulation/merge machinery serves both the single-spanner
+// evaluators (one relation per chunk destination) and the fused
+// multi-query evaluator (one relation per member query).
+type evaluator interface {
+	// prepare warms the shared compiled caches before the workers start.
+	prepare()
+	// vars returns the variable list of destination dest's relation.
+	vars(dest int) []string
+	// eval appends seg's shifted result tuples to the relation(s) that
+	// rel hands out, carving tuple storage from arena. Single-spanner
+	// evaluators use rel(dest); the fused evaluator ignores dest and
+	// demultiplexes into rel(member) per member query.
+	eval(seg Segment, dest int, rel func(int) *span.Relation, arena *span.TupleArena)
+}
+
+// singleEval evaluates one spanner; chunk destinations index documents
+// (or the single whole-document destination 0).
+type singleEval struct{ ps *vsa.Automaton }
+
+func (e singleEval) prepare()          { e.ps.Prepare() }
+func (e singleEval) vars(int) []string { return e.ps.Vars }
+func (e singleEval) eval(seg Segment, dest int, rel func(int) *span.Relation, arena *span.TupleArena) {
+	e.ps.EvalAppend(seg.Text, seg.Span, rel(dest), arena)
+}
+
+// multiEval evaluates a fused multi-query set; chunk destinations are
+// ignored (every chunk is dealt with dest 0) and the relation index is
+// the member-query index instead.
+type multiEval struct{ m *vsa.Multi }
+
+func (e multiEval) prepare()            { e.m.Prepare() }
+func (e multiEval) vars(q int) []string { return e.m.Member(q).Vars }
+func (e multiEval) eval(seg Segment, _ int, rel func(int) *span.Relation, arena *span.TupleArena) {
+	e.m.EvalAppend(seg.Text, seg.Span, rel, arena)
+}
 
 // executor is one split-evaluation run: a set of workers, their deques
 // and accumulators, and (in streaming mode) the feed they block on when
 // idle.
 type executor struct {
-	ps    *vsa.Automaton
+	ev    evaluator
 	ctx   context.Context
 	grain int // split chunks larger than this; 0 disables splitting
 	ndest int
@@ -50,25 +88,25 @@ type executor struct {
 // Only the owning worker touches it until the final merge, which runs
 // strictly after all workers exit.
 type accumulator struct {
-	vars  []string
+	ev    evaluator
 	arena span.TupleArena
-	rels  []*span.Relation // lazily created, indexed by chunk.dest
+	rels  []*span.Relation // lazily created, indexed by chunk.dest (or member query)
 }
 
 func (a *accumulator) rel(dest int) *span.Relation {
 	if a.rels[dest] == nil {
-		a.rels[dest] = span.NewRelation(a.vars...)
+		a.rels[dest] = span.NewRelation(a.ev.vars(dest)...)
 	}
 	return a.rels[dest]
 }
 
 // newExecutor prepares an executor with nw workers over ndest
-// destination relations. ps is Prepared so the workers share warm
+// destination relations. ev is prepared so the workers share warm
 // evaluation caches instead of racing to build them.
-func newExecutor(ctx context.Context, ps *vsa.Automaton, nw, ndest, grain int, recv func(context.Context) (chunk, bool), m *ExecMetrics) *executor {
-	ps.Prepare()
+func newExecutor(ctx context.Context, ev evaluator, nw, ndest, grain int, recv func(context.Context) (chunk, bool), m *ExecMetrics) *executor {
+	ev.prepare()
 	x := &executor{
-		ps:     ps,
+		ev:     ev,
 		ctx:    ctx,
 		grain:  grain,
 		ndest:  ndest,
@@ -78,7 +116,7 @@ func newExecutor(ctx context.Context, ps *vsa.Automaton, nw, ndest, grain int, r
 		accs:   make([]accumulator, nw),
 	}
 	for i := range x.accs {
-		x.accs[i] = accumulator{vars: ps.Vars, rels: make([]*span.Relation, ndest)}
+		x.accs[i] = accumulator{ev: ev, rels: make([]*span.Relation, ndest)}
 	}
 	return x
 }
@@ -216,13 +254,12 @@ func (x *executor) exec(c chunk, self *deque, acc *accumulator, st *workerStats)
 	if x.m != nil {
 		t0 = time.Now()
 	}
-	rel := acc.rel(c.dest)
 	done := 0
 	for _, seg := range c.segs {
 		if x.ctx.Err() != nil {
 			break
 		}
-		x.ps.EvalAppend(seg.Text, seg.Span, rel, &acc.arena)
+		x.ev.eval(seg, c.dest, acc.rel, &acc.arena)
 		st.bytes += uint64(len(seg.Text))
 		done++
 	}
@@ -245,7 +282,7 @@ func (x *executor) merge() []*span.Relation {
 				total += len(r.Tuples)
 			}
 		}
-		m := span.NewRelation(x.ps.Vars...)
+		m := span.NewRelation(x.ev.vars(d)...)
 		m.Tuples = make([]span.Tuple, 0, total)
 		for w := range x.accs {
 			if r := x.accs[w].rels[d]; r != nil {

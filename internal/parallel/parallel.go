@@ -121,7 +121,7 @@ func SplitEval(ps *vsa.Automaton, segments []Segment, workers int) *span.Relatio
 // context the result equals SplitEval's.
 func SplitEvalCtx(ctx context.Context, ps *vsa.Automaton, segments []Segment, opts Options) (*span.Relation, error) {
 	grain := opts.grain(len(segments))
-	x := newExecutor(ctx, ps, opts.workers(), 1, grain, nil, opts.Metrics)
+	x := newExecutor(ctx, singleEval{ps}, opts.workers(), 1, grain, nil, opts.Metrics)
 	x.deal(chunked(0, segments, grain, nil))
 	rels := x.run()
 	return rels[0], ctx.Err()
@@ -155,22 +155,26 @@ func SplitEvalBatches(ctx context.Context, ps *vsa.Automaton, batches <-chan []S
 			return chunk{}, false
 		}
 	}
-	x := newExecutor(ctx, ps, opts.workers(), 1, streamGrain, recv, opts.Metrics)
+	x := newExecutor(ctx, singleEval{ps}, opts.workers(), 1, streamGrain, recv, opts.Metrics)
 	rels := x.run()
 	return rels[0], ctx.Err()
 }
 
-// CollectionEval evaluates p on every document of a pre-split collection
-// (the Spark scenario of Section 1) with the given number of workers and
-// returns one relation per document, in order. Documents are dealt to
-// the worker deques whole; work stealing keeps the pool busy when long
-// documents cluster on one worker. Each returned relation is sorted and
-// deduplicated, identical to p.Eval on that document.
+// CollectionEval evaluates p on every document of a collection (the
+// Spark scenario of Section 1) with the given number of workers and
+// returns one relation per document, in order. The documents are
+// arbitrary, independent inputs — no splitter is involved and nothing
+// about them needs to be "pre-split"; each is evaluated whole. Documents
+// are dealt to the worker deques whole; work stealing keeps the pool
+// busy when long documents cluster on one worker. Each returned relation
+// is sorted and deduplicated, identical to p.Eval on that document.
+// (To additionally split each document into segments for finer
+// scheduling, use CollectionEvalSplit.)
 func CollectionEval(p *vsa.Automaton, docsIn []string, workers int) []*span.Relation {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	x := newExecutor(context.Background(), p, workers, len(docsIn), 0, nil, nil)
+	x := newExecutor(context.Background(), singleEval{p}, workers, len(docsIn), 0, nil, nil)
 	chunks := make([]chunk, len(docsIn))
 	for i, d := range docsIn {
 		chunks[i] = chunk{dest: i, segs: []Segment{{Span: span.Span{Start: 1, End: len(d) + 1}, Text: d}}}
@@ -206,7 +210,7 @@ func CollectionEvalSplit(ps *vsa.Automaton, docsIn []string, splitFn func(string
 		c, ok := <-feed
 		return c, ok
 	}
-	x := newExecutor(context.Background(), ps, workers, len(docsIn), streamGrain, recv, nil)
+	x := newExecutor(context.Background(), singleEval{ps}, workers, len(docsIn), streamGrain, recv, nil)
 	return x.run()
 }
 

@@ -1,0 +1,527 @@
+package vsa
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/alphabet"
+	"repro/internal/span"
+)
+
+// assertMultiMatchesStandalone compares every member relation of a fused
+// evaluation against the member automaton's own standalone Eval — the
+// demultiplexing contract Multi promises.
+func assertMultiMatchesStandalone(t *testing.T, m *Multi, doc string) {
+	t.Helper()
+	rels := m.Eval(doc)
+	if len(rels) != m.Len() {
+		t.Fatalf("Eval returned %d relations for %d members", len(rels), m.Len())
+	}
+	for i, got := range rels {
+		want := m.Member(i).Eval(doc)
+		if !got.Equal(want) {
+			t.Errorf("member %d on %q:\nfused:      %v\nstandalone: %v", i, doc, got, want)
+		}
+	}
+}
+
+// extractorBlowup builds Σ*·x{a·(a|b)^k}·Σ*: the classic
+// subset-construction blowup (the scan DFA must remember which of the
+// last k positions held an 'a'), so the fused lazy DFA overflows its
+// state bound on long random a/b documents. The span has fixed length
+// k+1, which keeps the whole-document fallback simulation linear.
+func extractorBlowup(k int) *Automaton {
+	a := NewAutomaton("x")
+	a.AddEdge(0, 0, alphabet.Any, 0)
+	prev := a.AddState()
+	a.AddEdge(0, Open(0), alphabet.Of('a'), prev)
+	for i := 1; i < k; i++ {
+		next := a.AddState()
+		a.AddEdge(prev, 0, alphabet.Of('a'), next)
+		a.AddEdge(prev, 0, alphabet.Of('b'), next)
+		prev = next
+	}
+	post := a.AddState()
+	a.AddEdge(prev, Close(0), alphabet.Of('a'), post)
+	a.AddEdge(prev, Close(0), alphabet.Of('b'), post)
+	a.AddFinal(post, 0)
+	a.AddEdge(post, 0, alphabet.Any, post)
+	return a
+}
+
+// buildUnanchoredCD is buildUnanchoredAB over the letters c/d: a
+// factor-bearing shape ("cd") whose scan skips between occurrences.
+func buildUnanchoredCD(t *testing.T) *Automaton {
+	t.Helper()
+	a := NewAutomaton("x")
+	mid := a.AddState()
+	post := a.AddState()
+	a.AddEdge(0, 0, alphabet.Any, 0)
+	a.AddEdge(0, Open(0), alphabet.Of('c'), mid)
+	a.AddEdge(mid, Close(0), alphabet.Of('d'), post)
+	a.AddFinal(post, 0)
+	a.AddEdge(post, 0, alphabet.Any, post)
+	if err := a.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return a
+}
+
+// buildNonLocalizable hand-builds the status-conflicted automaton of
+// TestWindowedEvalNonLocalizableFallsBack: Multi must route it through
+// the solo (standalone) path.
+func buildNonLocalizable(t *testing.T) *Automaton {
+	t.Helper()
+	a := NewAutomaton("x")
+	mid := a.AddState()
+	a.AddEdge(0, Open(0), alphabet.Of('a'), mid)
+	a.AddEdge(0, 0, alphabet.Of('b'), mid)
+	a.AddEdge(mid, Close(0), alphabet.Of('c'), mid)
+	a.AddFinal(mid, 0)
+	if loc := a.localizer(); loc.ok {
+		t.Fatal("status-conflicted automaton must not localize")
+	}
+	return a
+}
+
+// buildAnchoredCD is buildAnchoredAB over the letters c/d: a second
+// mandatory factor ("cd") disjoint from "ab", for admission-mask tests.
+func buildAnchoredCD(t *testing.T) *Automaton {
+	t.Helper()
+	a := NewAutomaton("x")
+	mid := a.AddState()
+	post := a.AddState()
+	a.AddEdge(0, Open(0), alphabet.Of('c'), mid)
+	a.AddEdge(mid, Close(0), alphabet.Of('d'), post)
+	a.AddFinal(post, 0)
+	a.AddEdge(post, 0, alphabet.Any, post)
+	if err := a.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return a
+}
+
+// buildEmptyLanguage builds an automaton whose language is empty (its
+// only final state is unreachable): a degenerate but legal member.
+func buildEmptyLanguage() *Automaton {
+	a := NewAutomaton("x")
+	a.AddEdge(0, 0, alphabet.Any, 0)
+	orphan := a.AddState()
+	a.AddFinal(orphan, 0)
+	return a
+}
+
+// TestMultiMatchesStandalone is the core table-driven differential:
+// heterogeneous member sets over documents exercising empty input,
+// matches at both ends, checkpoint-stride straddling and no-match
+// documents must demultiplex byte-identically to per-member Eval.
+func TestMultiMatchesStandalone(t *testing.T) {
+	long := strings.Repeat(".", 3*checkpointStride)
+	docs := []string{
+		"",
+		"a",
+		"ab",
+		"aa.bb.aa",
+		"xxaxxbxx",
+		long,
+		long + "aab" + long,
+		"a" + long + "b",
+		long + "a" + long + "b" + long + "ab",
+		strings.Repeat("ab", 2*checkpointStride),
+	}
+	cases := []struct {
+		name    string
+		members []*Automaton
+	}{
+		{"four-shapes", []*Automaton{
+			extractorAPlus(), extractorPrefixAnchored(),
+			extractorSuffixAnchored(), extractorZeroWidth(),
+		}},
+		{"single", []*Automaton{extractorAPlus()}},
+		{"factor-pair", []*Automaton{buildUnanchoredAB(t), extractorZeroWidth()}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := NewMulti(c.members...)
+			for _, doc := range docs {
+				assertMultiMatchesStandalone(t, m, doc)
+			}
+		})
+	}
+}
+
+// TestMultiDuplicateMembers: the same query registered several times in
+// one batch (the same pointer twice AND a structurally identical twin)
+// must yield the identical relation in every slot.
+func TestMultiDuplicateMembers(t *testing.T) {
+	a := extractorAPlus()
+	twin := extractorAPlus()
+	m := NewMulti(a, a, twin)
+	for _, doc := range []string{"", "aa.bb.aa", "xxaxx"} {
+		rels := m.Eval(doc)
+		want := a.Eval(doc)
+		for i, got := range rels {
+			if !got.Equal(want) {
+				t.Errorf("duplicate slot %d on %q: %v != %v", i, doc, got, want)
+			}
+		}
+	}
+}
+
+// TestMultiEmptyLanguageMember: a member accepting nothing, mixed with
+// matching siblings, must come back empty without disturbing them.
+func TestMultiEmptyLanguageMember(t *testing.T) {
+	empty := buildEmptyLanguage()
+	m := NewMulti(empty, extractorAPlus(), extractorZeroWidth())
+	for _, doc := range []string{"", "ab", "aa.bb"} {
+		assertMultiMatchesStandalone(t, m, doc)
+		if got := m.Eval(doc)[0]; got.Len() != 0 {
+			t.Errorf("empty-language member matched %v on %q", got, doc)
+		}
+	}
+}
+
+// TestMultiZeroWidthSameOffset: two queries producing zero-width spans
+// at the same document offset must each receive their own copy of the
+// tuple from the shared pass.
+func TestMultiZeroWidthSameOffset(t *testing.T) {
+	m := NewMulti(extractorZeroWidth(), extractorZeroWidth())
+	doc := "xbxxb"
+	rels := m.Eval(doc)
+	want := extractorZeroWidth().Eval(doc)
+	if want.Len() == 0 {
+		t.Fatal("oracle found no zero-width matches")
+	}
+	for i, got := range rels {
+		if !got.Equal(want) {
+			t.Errorf("zero-width member %d: %v != %v", i, got, want)
+		}
+	}
+}
+
+// TestMultiAdmissionSkipsSibling: a member whose mandatory factor is
+// absent is skipped by the admission bitmap (counted in AdmissionSkips)
+// while its siblings still match at full strength.
+func TestMultiAdmissionSkipsSibling(t *testing.T) {
+	ab := buildUnanchoredAB(t)
+	if f := ab.Prefilter().Factor; f != "ab" {
+		t.Fatalf("precondition: factor %q, want \"ab\"", f)
+	}
+	m := NewMulti(ab, extractorAPlus())
+	var mm MultiMetrics
+	m.SetMetrics(&mm)
+
+	doc := "a.a.a" // has 'a' matches, no "ab" factor
+	assertMultiMatchesStandalone(t, m, doc)
+	if got := mm.AdmissionSkips.Load(); got == 0 {
+		t.Error("admission gate never skipped the factor-less member")
+	}
+	rels := m.Eval(doc)
+	if rels[0].Len() != 0 {
+		t.Errorf("skipped member returned tuples: %v", rels[0])
+	}
+	if rels[1].Len() == 0 {
+		t.Error("sibling of a skipped member lost its matches")
+	}
+
+	// Both factors present: both admitted, both match.
+	assertMultiMatchesStandalone(t, m, "x.ab.a")
+}
+
+// TestMultiAdmissionAllRejected: when every member's factor is absent
+// the group is never scanned at all (FusedPasses stays zero).
+func TestMultiAdmissionAllRejected(t *testing.T) {
+	m := NewMulti(buildUnanchoredAB(t), buildAnchoredCD(t))
+	var mm MultiMetrics
+	m.SetMetrics(&mm)
+	doc := strings.Repeat("z", 4096)
+	assertMultiMatchesStandalone(t, m, doc)
+	if got := mm.FusedPasses.Load(); got != 0 {
+		t.Errorf("fully rejected document still ran %d fused passes", got)
+	}
+	if got := mm.AdmissionSkips.Load(); got != 2 {
+		t.Errorf("AdmissionSkips = %d, want 2", got)
+	}
+}
+
+// TestMultiStartStateCache: each distinct admission mask interns one
+// fused start state, cached across evaluations.
+func TestMultiStartStateCache(t *testing.T) {
+	m := NewMulti(buildUnanchoredAB(t), buildAnchoredCD(t))
+	docs := []string{
+		"zabz.cdz", // both admitted (mask 11, pre-interned at build)
+		"zabz",     // AB only (mask 01)
+		"cdzz",     // CD only (mask 10)
+		"zzzz",     // neither: early return, no start state
+	}
+	for range 3 { // repeats must hit the cache, not grow it
+		for _, doc := range docs {
+			assertMultiMatchesStandalone(t, m, doc)
+		}
+	}
+	if len(m.groups) != 1 {
+		t.Fatalf("want 1 group, got %d", len(m.groups))
+	}
+	g := m.groups[0]
+	g.mu.Lock()
+	n := len(g.starts)
+	g.mu.Unlock()
+	if n != 3 {
+		t.Errorf("start-state cache holds %d masks, want 3 (full, AB-only, CD-only)", n)
+	}
+}
+
+// TestMultiSoloNonLocalizable: a member without a localizer is routed
+// to the solo list and evaluated standalone (counted as a fallback),
+// while localizable siblings still share one fused pass.
+func TestMultiSoloNonLocalizable(t *testing.T) {
+	m := NewMulti(buildNonLocalizable(t), extractorAPlus())
+	var mm MultiMetrics
+	m.SetMetrics(&mm)
+	m.Prepare()
+	if len(m.solo) != 1 || m.solo[0] != 0 {
+		t.Fatalf("solo = %v, want [0]", m.solo)
+	}
+	if len(m.groups) != 1 || len(m.groups[0].members) != 1 {
+		t.Fatalf("localizable sibling not fused into its own group")
+	}
+	for _, doc := range []string{"", "ac", "bc", "acc.a"} {
+		assertMultiMatchesStandalone(t, m, doc)
+	}
+	if got := mm.MemberFallbacks.Load(); got == 0 {
+		t.Error("solo member never counted as a fallback")
+	}
+	if got := mm.FusedPasses.Load(); got == 0 {
+		t.Error("localizable sibling never took the fused pass")
+	}
+}
+
+// TestMultiOverflowGroupFallback: a subset-blowup member overflows the
+// fused DFA's state bound mid-document; the whole group must fall back
+// to standalone evaluation, byte-identically, mid-batch.
+func TestMultiOverflowGroupFallback(t *testing.T) {
+	blowup := extractorBlowup(16)
+	m := NewMulti(blowup, extractorAPlus())
+	var mm MultiMetrics
+	m.SetMetrics(&mm)
+	rng := rand.New(rand.NewSource(42))
+	var b strings.Builder
+	for i := 0; i < 1<<14; i++ {
+		b.WriteByte("ab"[rng.Intn(2)])
+	}
+	doc := b.String()
+	assertMultiMatchesStandalone(t, m, doc)
+	if got := mm.MemberFallbacks.Load(); got < 2 {
+		t.Errorf("MemberFallbacks = %d, want both admitted members to fall back on fused overflow", got)
+	}
+	// A harmless document afterwards must still evaluate (the overflowed
+	// DFA stays overflowed; the group keeps falling back, correctly).
+	assertMultiMatchesStandalone(t, m, "aab.bba")
+}
+
+// TestMultiSkipAndNoSkip: the fused trigger-byte skip loop engages on
+// sparse documents, and one member's DisablePrefilter call disables it
+// for the whole group — in both modes results match the standalone
+// evaluations exactly.
+func TestMultiSkipAndNoSkip(t *testing.T) {
+	gap := strings.Repeat(".", 1<<12)
+	doc := gap + "ab" + gap + "cd" + gap
+
+	skip := NewMulti(buildUnanchoredAB(t), buildUnanchoredCD(t))
+	var sm MultiMetrics
+	skip.SetMetrics(&sm)
+	assertMultiMatchesStandalone(t, skip, doc)
+	skip.Prepare()
+	if skip.groups[0].noSkip {
+		t.Fatal("prefilter-enabled group built with noSkip")
+	}
+	if got := sm.FusedSkippedBytes.Load(); got == 0 {
+		t.Error("fused skip loop never jumped on a sparse document")
+	}
+
+	dis := buildUnanchoredAB(t)
+	dis.DisablePrefilter()
+	step := NewMulti(dis, buildUnanchoredCD(t))
+	var nm MultiMetrics
+	step.SetMetrics(&nm)
+	assertMultiMatchesStandalone(t, step, doc)
+	step.Prepare()
+	if !step.groups[0].noSkip {
+		t.Fatal("DisablePrefilter member did not force the stepped fused scan")
+	}
+	if got := nm.FusedSkippedBytes.Load(); got != 0 {
+		t.Errorf("stepped group skipped %d bytes", got)
+	}
+}
+
+// TestMultiManyMembersSplitIntoGroups: more than maxGroupMembers fused
+// members must be chunked into several groups, each demultiplexing
+// correctly.
+func TestMultiManyMembersSplitIntoGroups(t *testing.T) {
+	var members []*Automaton
+	for i := 0; i < maxGroupMembers+6; i++ {
+		if i%2 == 0 {
+			members = append(members, extractorAPlus())
+		} else {
+			members = append(members, extractorZeroWidth())
+		}
+	}
+	m := NewMulti(members...)
+	m.Prepare()
+	if len(m.groups) != 2 {
+		t.Fatalf("want 2 groups for %d members, got %d", len(members), len(m.groups))
+	}
+	assertMultiMatchesStandalone(t, m, "aa.bb.aa")
+}
+
+// TestMultiEvalAppend: the accumulator form shifts by `by`, carves from
+// the arena, and requests relations lazily — an admitted member with no
+// candidate match ends never has its relation created.
+func TestMultiEvalAppend(t *testing.T) {
+	dis := extractorAPlus()
+	dis.DisablePrefilter() // always admitted, even with no 'a' in the doc
+	m := NewMulti(dis, extractorZeroWidth())
+	doc := "bbxbb" // zero-width matches; a+ has no candidate ends
+	by := span.Span{Start: 101, End: 101 + len(doc)}
+
+	var arena span.TupleArena
+	rels := make([]*span.Relation, m.Len())
+	requested := 0
+	m.EvalAppend(doc, by, func(i int) *span.Relation {
+		requested++
+		if rels[i] == nil {
+			rels[i] = span.NewRelation(m.Member(i).Vars...)
+		}
+		return rels[i]
+	}, &arena)
+
+	if rels[0] != nil {
+		t.Errorf("member with no candidate ends had its relation created: %v", rels[0])
+	}
+	if requested == 0 || rels[1] == nil {
+		t.Fatal("matching member never requested its relation")
+	}
+	want := span.NewRelation(m.Member(1).Vars...)
+	m.Member(1).EvalAppend(doc, by, want, nil)
+	rels[1].Dedupe()
+	want.Dedupe()
+	if !rels[1].Equal(want) {
+		t.Errorf("shifted EvalAppend: fused %v != standalone %v", rels[1], want)
+	}
+}
+
+// TestMultiEvalAppendArityPanic: handing a member a relation of the
+// wrong arity must panic, mirroring Automaton.EvalAppend's contract.
+func TestMultiEvalAppendArityPanic(t *testing.T) {
+	m := NewMulti(extractorAPlus())
+	defer func() {
+		if recover() == nil {
+			t.Error("arity mismatch did not panic")
+		}
+	}()
+	bad := span.NewRelation("x", "y")
+	m.EvalAppend("aa", span.Span{Start: 1, End: 3}, func(int) *span.Relation { return bad }, nil)
+}
+
+// TestNewMultiEmptyPanics pins the constructor contract.
+func TestNewMultiEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMulti() did not panic")
+		}
+	}()
+	NewMulti()
+}
+
+// TestMultiAccessors covers Len/Member and metric counters on a plain
+// matching evaluation.
+func TestMultiAccessors(t *testing.T) {
+	a, b := extractorAPlus(), extractorZeroWidth()
+	m := NewMulti(a, b)
+	if m.Len() != 2 || m.Member(0) != a || m.Member(1) != b {
+		t.Fatal("Len/Member disagree with construction")
+	}
+	var mm MultiMetrics
+	m.SetMetrics(&mm)
+	doc := "aa.bb"
+	rels := m.Eval(doc)
+	wantTuples := uint64(rels[0].Len() + rels[1].Len())
+	if wantTuples == 0 {
+		t.Fatal("oracle expected matches")
+	}
+	if got := mm.FusedPasses.Load(); got != 1 {
+		t.Errorf("FusedPasses = %d, want 1", got)
+	}
+	if got := mm.FusedBytes.Load(); got != uint64(len(doc)) {
+		t.Errorf("FusedBytes = %d, want %d", got, len(doc))
+	}
+	if got := mm.DemuxTuples.Load(); got != wantTuples {
+		t.Errorf("DemuxTuples = %d, want %d", got, wantTuples)
+	}
+}
+
+// TestMultiConcurrent hammers one shared Multi from many goroutines so
+// the race detector sees the fused DFA, skip cache and start-state map
+// being built and read concurrently.
+func TestMultiConcurrent(t *testing.T) {
+	m := NewMulti(extractorAPlus(), buildUnanchoredAB(t), extractorZeroWidth())
+	long := strings.Repeat(".", 2*checkpointStride)
+	docs := []string{"", "ab", long + "aab" + long, "aa.bb", long}
+	want := make([][]int, len(docs))
+	for d, doc := range docs {
+		want[d] = make([]int, m.Len())
+		for i := 0; i < m.Len(); i++ {
+			want[d][i] = m.Member(i).Eval(doc).Len()
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				d := (g + i) % len(docs)
+				rels := m.Eval(docs[d])
+				for q, r := range rels {
+					if r.Len() != want[d][q] {
+						t.Errorf("goroutine %d: member %d on doc %d: %d tuples, want %d",
+							g, q, d, r.Len(), want[d][q])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// FuzzMultiVsMembers fuzzes the fused evaluation against per-member
+// standalone Eval on random functional automata (the generator of
+// dfa_test.go): the in-package complement of the formula-level
+// differential in parallel.FuzzMultiVsSequential.
+func FuzzMultiVsMembers(f *testing.F) {
+	f.Add(int64(1), int64(2), "abab")
+	f.Add(int64(3), int64(4), "")
+	f.Add(int64(5), int64(6), strings.Repeat("c", 2*checkpointStride)+"ab")
+	f.Fuzz(func(t *testing.T, seedA, seedB int64, doc string) {
+		if len(doc) > 1<<12 {
+			doc = doc[:1<<12]
+		}
+		a := randomAutomaton(rand.New(rand.NewSource(seedA)))
+		b := randomAutomaton(rand.New(rand.NewSource(seedB)))
+		if a.Validate() != nil || b.Validate() != nil {
+			t.Skip()
+		}
+		m := NewMulti(a, b, a)
+		rels := m.Eval(doc)
+		for i, got := range rels {
+			want := m.Member(i).Eval(doc)
+			if !got.Equal(want) {
+				t.Fatalf("member %d diverged on %q:\nfused:      %v\nstandalone: %v\n%s",
+					i, doc, got, want, m.Member(i))
+			}
+		}
+	})
+}
